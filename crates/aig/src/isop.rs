@@ -1,0 +1,337 @@
+//! Irredundant sum-of-products extraction (Minato–Morreale ISOP) and
+//! SOP-based AIG re-synthesis.
+//!
+//! Given a truth table, [`isop`] computes an irredundant cube cover, and
+//! [`build_sop`] / [`build_from_tt`] turn covers back into AIG structure.
+//! This is the re-synthesis engine behind the `rewrite` and `refactor`
+//! passes.
+
+use crate::aig::{Aig, Lit};
+use crate::truth::Tt;
+
+/// A product term over the variables of a truth table.
+///
+/// Bit `i` of `pos` means variable `i` appears positively; bit `i` of `neg`
+/// means it appears negated. The two masks are disjoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cube {
+    /// Positive-literal mask.
+    pub pos: u32,
+    /// Negative-literal mask.
+    pub neg: u32,
+}
+
+impl Cube {
+    /// The universal cube (no literals).
+    pub const UNIVERSE: Cube = Cube { pos: 0, neg: 0 };
+
+    /// Number of literals in the cube.
+    pub fn num_literals(self) -> u32 {
+        self.pos.count_ones() + self.neg.count_ones()
+    }
+
+    /// Evaluates the cube on an input assignment given as a bit vector.
+    pub fn eval(self, assignment: u32) -> bool {
+        (assignment & self.pos) == self.pos && (assignment & self.neg) == 0
+    }
+
+    /// The cube's characteristic function as a truth table.
+    pub fn to_tt(self, nvars: usize) -> Tt {
+        let mut t = Tt::one(nvars);
+        for v in 0..nvars {
+            if self.pos >> v & 1 != 0 {
+                t = t.and(&Tt::var(v, nvars));
+            } else if self.neg >> v & 1 != 0 {
+                t = t.and(&Tt::var(v, nvars).not());
+            }
+        }
+        t
+    }
+}
+
+/// Computes an irredundant sum-of-products cover of `f` (no don't-cares).
+///
+/// Returns the list of cubes; ORing [`Cube::to_tt`] over them reproduces `f`
+/// exactly (checked in tests and by `debug_assert!`).
+pub fn isop(f: &Tt) -> Vec<Cube> {
+    let (cubes, cover) = isop_rec(f, f, f.nvars());
+    debug_assert_eq!(&cover, f, "ISOP cover must equal the function");
+    cubes
+}
+
+/// Minato–Morreale recursion: computes a cover F with `lower ⊆ F ⊆ upper`.
+fn isop_rec(lower: &Tt, upper: &Tt, top: usize) -> (Vec<Cube>, Tt) {
+    let nvars = lower.nvars();
+    if lower.is_zero() {
+        return (Vec::new(), Tt::zero(nvars));
+    }
+    if upper.is_one() {
+        return (vec![Cube::UNIVERSE], Tt::one(nvars));
+    }
+    // Find the topmost variable either bound depends on.
+    let mut var = None;
+    for v in (0..top).rev() {
+        if lower.depends_on(v) || upper.depends_on(v) {
+            var = Some(v);
+            break;
+        }
+    }
+    let var = match var {
+        Some(v) => v,
+        None => {
+            // Neither depends on remaining variables; lower is nonzero and
+            // constant over them, so the universe cube is the cover.
+            return (vec![Cube::UNIVERSE], Tt::one(nvars));
+        }
+    };
+
+    let l0 = lower.cofactor0(var);
+    let l1 = lower.cofactor1(var);
+    let u0 = upper.cofactor0(var);
+    let u1 = upper.cofactor1(var);
+
+    // Minterms that can only be covered in the var=0 branch.
+    let (mut c0, f0) = isop_rec(&l0.and(&u1.not()), &u0, var);
+    // Minterms that can only be covered in the var=1 branch.
+    let (mut c1, f1) = isop_rec(&l1.and(&u0.not()), &u1, var);
+    // Remaining minterms, coverable without the variable.
+    let lnew = l0.and(&f0.not()).or(&l1.and(&f1.not()));
+    let (c2, f2) = isop_rec(&lnew, &u0.and(&u1), var);
+
+    for c in &mut c0 {
+        c.neg |= 1 << var;
+    }
+    for c in &mut c1 {
+        c.pos |= 1 << var;
+    }
+    let tv = Tt::var(var, nvars);
+    let cover = f2.or(&tv.not().and(&f0)).or(&tv.and(&f1));
+    let mut cubes = c0;
+    cubes.extend(c1);
+    cubes.extend(c2);
+    (cubes, cover)
+}
+
+/// Builds an AIG structure computing the SOP `cubes` over the given leaf
+/// literals and returns the root literal.
+///
+/// Construction goes through the structural hash of `dest`, so shared logic
+/// is reused for free.
+pub fn build_sop(dest: &mut Aig, cubes: &[Cube], leaves: &[Lit]) -> Lit {
+    let mut terms = Vec::with_capacity(cubes.len());
+    for cube in cubes {
+        let mut lits = Vec::with_capacity(cube.num_literals() as usize);
+        for (v, &leaf) in leaves.iter().enumerate() {
+            if cube.pos >> v & 1 != 0 {
+                lits.push(leaf);
+            } else if cube.neg >> v & 1 != 0 {
+                lits.push(!leaf);
+            }
+        }
+        terms.push(dest.and_many(&lits));
+    }
+    dest.or_many(&terms)
+}
+
+/// Builds an AIG computing the truth table `tt` over `leaves`, choosing the
+/// cheaper of: ISOP of `tt`, ISOP of `!tt` (complemented), or top-variable
+/// Shannon decomposition, measured in AND nodes actually added to `dest`.
+///
+/// Speculative candidates are constructed and rolled back via
+/// [`Aig::checkpoint`]/[`Aig::rollback`], so only the winner remains.
+///
+/// # Panics
+///
+/// Panics if `leaves.len() != tt.nvars()`.
+pub fn build_from_tt(dest: &mut Aig, tt: &Tt, leaves: &[Lit]) -> Lit {
+    assert_eq!(leaves.len(), tt.nvars(), "leaf count must match variables");
+    if tt.is_zero() {
+        return Lit::FALSE;
+    }
+    if tt.is_one() {
+        return Lit::TRUE;
+    }
+    // Single-variable function?
+    for v in 0..tt.nvars() {
+        if &Tt::var(v, tt.nvars()) == tt {
+            return leaves[v];
+        }
+        if &Tt::var(v, tt.nvars()).not() == tt {
+            return !leaves[v];
+        }
+    }
+
+    let cubes_pos = isop(tt);
+    let cubes_neg = isop(&tt.not());
+
+    // For covers that are too wide, SOP construction would explode (e.g.
+    // parity); fall back to a committed Shannon decomposition instead.
+    const MAX_CUBES: usize = 96;
+    if cubes_pos.len().min(cubes_neg.len()) > MAX_CUBES {
+        let v = most_binate_var(tt).expect("non-degenerate function has support");
+        let l0 = build_from_tt(dest, &tt.cofactor0(v), leaves);
+        let l1 = build_from_tt(dest, &tt.cofactor1(v), leaves);
+        return dest.mux(leaves[v], l1, l0);
+    }
+
+    // Candidate 1: ISOP of tt.
+    let cp = dest.checkpoint();
+    build_sop(dest, &cubes_pos, leaves);
+    let cost_pos = dest.checkpoint() - cp;
+    dest.rollback(cp);
+
+    // Candidate 2: complemented ISOP.
+    build_sop(dest, &cubes_neg, leaves);
+    let cost_neg = dest.checkpoint() - cp;
+    dest.rollback(cp);
+
+    // Candidate 3 (small functions only, to bound the probing recursion):
+    // Shannon decomposition on the most binate variable.
+    let shannon_var = if tt.nvars() <= 5 {
+        most_binate_var(tt)
+    } else {
+        None
+    };
+    let cost_shannon = shannon_var.map(|v| {
+        let l0 = build_from_tt(dest, &tt.cofactor0(v), leaves);
+        let l1 = build_from_tt(dest, &tt.cofactor1(v), leaves);
+        let _m = dest.mux(leaves[v], l1, l0);
+        let cost = dest.checkpoint() - cp;
+        dest.rollback(cp);
+        cost
+    });
+
+    // Commit the cheapest candidate.
+    let best = [Some(cost_pos), Some(cost_neg), cost_shannon]
+        .iter()
+        .flatten()
+        .min()
+        .copied()
+        .expect("at least one candidate");
+
+    if best == cost_pos {
+        build_sop(dest, &cubes_pos, leaves)
+    } else if best == cost_neg {
+        !build_sop(dest, &cubes_neg, leaves)
+    } else {
+        let v = shannon_var.expect("shannon candidate was chosen");
+        let l0 = build_from_tt(dest, &tt.cofactor0(v), leaves);
+        let l1 = build_from_tt(dest, &tt.cofactor1(v), leaves);
+        dest.mux(leaves[v], l1, l0)
+    }
+}
+
+/// Picks the variable on which the function is "most binate" (both cofactors
+/// differ most from each other), a good Shannon pivot.
+fn most_binate_var(tt: &Tt) -> Option<usize> {
+    let mut best = None;
+    let mut best_score = 0u32;
+    for v in 0..tt.nvars() {
+        if !tt.depends_on(v) {
+            continue;
+        }
+        let diff = tt.cofactor0(v).xor(&tt.cofactor1(v)).count_ones();
+        if best.is_none() || diff > best_score {
+            best = Some(v);
+            best_score = diff;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover_tt(cubes: &[Cube], nvars: usize) -> Tt {
+        cubes
+            .iter()
+            .fold(Tt::zero(nvars), |acc, c| acc.or(&c.to_tt(nvars)))
+    }
+
+    #[test]
+    fn isop_covers_exactly() {
+        // Exhaustive over all 3-variable functions.
+        for bits in 0..256u64 {
+            let f = Tt::from_u64(3, bits);
+            let cubes = isop(&f);
+            assert_eq!(cover_tt(&cubes, 3), f, "f={bits:02x}");
+        }
+    }
+
+    #[test]
+    fn isop_of_xor_has_expected_cubes() {
+        let a = Tt::var(0, 2);
+        let b = Tt::var(1, 2);
+        let f = a.xor(&b);
+        let cubes = isop(&f);
+        assert_eq!(cubes.len(), 2);
+        assert!(cubes.iter().all(|c| c.num_literals() == 2));
+    }
+
+    #[test]
+    fn cube_eval() {
+        let c = Cube { pos: 0b01, neg: 0b10 };
+        assert!(c.eval(0b01));
+        assert!(!c.eval(0b11));
+        assert!(!c.eval(0b00));
+    }
+
+    #[test]
+    fn build_from_tt_is_functionally_correct() {
+        // All 4-variable functions would be 65536 cases; sample a spread.
+        let mut seed = 0x9E37_79B9_u64;
+        for _ in 0..200 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let bits = seed >> 48;
+            let f = Tt::from_u64(4, bits);
+            let mut aig = Aig::new();
+            let leaves: Vec<Lit> = (0..4).map(|_| aig.add_input()).collect();
+            let root = build_from_tt(&mut aig, &f, &leaves);
+            aig.add_output(root);
+            for idx in 0..16usize {
+                let ins: Vec<bool> = (0..4).map(|i| idx >> i & 1 != 0).collect();
+                assert_eq!(
+                    aig.eval(&ins)[0],
+                    f.get_bit(idx),
+                    "bits={bits:04x} idx={idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_from_tt_handles_degenerate_cases() {
+        let mut aig = Aig::new();
+        let leaves: Vec<Lit> = (0..3).map(|_| aig.add_input()).collect();
+        assert_eq!(build_from_tt(&mut aig, &Tt::zero(3), &leaves), Lit::FALSE);
+        assert_eq!(build_from_tt(&mut aig, &Tt::one(3), &leaves), Lit::TRUE);
+        assert_eq!(
+            build_from_tt(&mut aig, &Tt::var(1, 3), &leaves),
+            leaves[1]
+        );
+        assert_eq!(
+            build_from_tt(&mut aig, &Tt::var(2, 3).not(), &leaves),
+            !leaves[2]
+        );
+        assert_eq!(aig.num_ands(), 0);
+    }
+
+    #[test]
+    fn build_from_tt_large_function() {
+        // 8-variable parity: stresses the word-level truth tables.
+        let mut f = Tt::zero(8);
+        for v in 0..8 {
+            f = f.xor(&Tt::var(v, 8));
+        }
+        let mut aig = Aig::new();
+        let leaves: Vec<Lit> = (0..8).map(|_| aig.add_input()).collect();
+        let root = build_from_tt(&mut aig, &f, &leaves);
+        aig.add_output(root);
+        for idx in [0usize, 1, 3, 7, 85, 170, 255, 128, 200] {
+            let ins: Vec<bool> = (0..8).map(|i| idx >> i & 1 != 0).collect();
+            let expect = (idx.count_ones() % 2) == 1;
+            assert_eq!(aig.eval(&ins)[0], expect, "idx={idx}");
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Synthesis transformation passes and scripts.
+//!
+//! This module implements the seven transformations the ALMOST paper draws
+//! recipes from, plus the `resyn2` baseline script:
+//!
+//! | Pass | Algorithm |
+//! |------|-----------|
+//! | [`Pass::Rewrite`], [`Pass::RewriteZ`] | 4-input cut rewriting with MFFC gain accounting (ISOP/Shannon re-synthesis through the structural hash) |
+//! | [`Pass::Refactor`], [`Pass::RefactorZ`] | reconvergence-driven large-cut (≤10 leaves) collapsing and re-synthesis |
+//! | [`Pass::Resub`], [`Pass::ResubZ`] | windowed resubstitution: replace a node by an existing divisor (or a one/three-node combination of two divisors) with *exact* window-truth-table verification |
+//! | [`Pass::Balance`] | level-minimising AND-tree balancing |
+//!
+//! The `-z` variants accept zero-gain moves, perturbing structure without
+//! growing the graph — exactly ABC's `rewrite -z` / `refactor -z` /
+//! `resub -z` behaviour that ALMOST's recipe search exploits to diversify
+//! key-gate localities.
+//!
+//! Every pass is a pure function `&Aig -> Aig` that preserves the
+//! input/output interface and the Boolean function of every output
+//! (validated by random simulation and SAT-based CEC in the test suites).
+
+mod balance;
+mod refactor;
+mod resub;
+mod rewrite;
+mod window;
+
+pub use balance::balance;
+pub use refactor::refactor;
+pub use resub::resub;
+pub use rewrite::rewrite;
+pub use window::reconvergence_cut;
+
+use crate::aig::Aig;
+use std::fmt;
+use std::str::FromStr;
+
+/// One synthesis transformation, as selectable in an ALMOST recipe.
+///
+/// # Example
+///
+/// ```
+/// use almost_aig::{Aig, Pass};
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let f = aig.xor(a, b);
+/// aig.add_output(f);
+/// let out = Pass::Rewrite.apply(&aig);
+/// assert_eq!(out.num_outputs(), 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pass {
+    /// Cut rewriting (`rewrite`).
+    Rewrite,
+    /// Zero-cost cut rewriting (`rewrite -z`).
+    RewriteZ,
+    /// Refactoring (`refactor`).
+    Refactor,
+    /// Zero-cost refactoring (`refactor -z`).
+    RefactorZ,
+    /// Resubstitution (`resub`).
+    Resub,
+    /// Zero-cost resubstitution (`resub -z`).
+    ResubZ,
+    /// AND-tree balancing (`balance`).
+    Balance,
+}
+
+impl Pass {
+    /// All seven passes, in a fixed order (the recipe alphabet of the
+    /// paper).
+    pub const ALL: [Pass; 7] = [
+        Pass::Rewrite,
+        Pass::RewriteZ,
+        Pass::Refactor,
+        Pass::RefactorZ,
+        Pass::Resub,
+        Pass::ResubZ,
+        Pass::Balance,
+    ];
+
+    /// Applies the pass, returning a new AIG with the same interface and
+    /// function.
+    pub fn apply(self, aig: &Aig) -> Aig {
+        match self {
+            Pass::Rewrite => rewrite(aig, false),
+            Pass::RewriteZ => rewrite(aig, true),
+            Pass::Refactor => refactor(aig, false),
+            Pass::RefactorZ => refactor(aig, true),
+            Pass::Resub => resub(aig, false),
+            Pass::ResubZ => resub(aig, true),
+            Pass::Balance => balance(aig),
+        }
+    }
+
+    /// The ABC-style command name (`rewrite -z` etc.).
+    pub fn command(self) -> &'static str {
+        match self {
+            Pass::Rewrite => "rewrite",
+            Pass::RewriteZ => "rewrite -z",
+            Pass::Refactor => "refactor",
+            Pass::RefactorZ => "refactor -z",
+            Pass::Resub => "resub",
+            Pass::ResubZ => "resub -z",
+            Pass::Balance => "balance",
+        }
+    }
+
+    /// A compact single-letter mnemonic (used in recipe strings): `w`, `W`,
+    /// `f`, `F`, `s`, `S`, `b`.
+    pub fn mnemonic(self) -> char {
+        match self {
+            Pass::Rewrite => 'w',
+            Pass::RewriteZ => 'W',
+            Pass::Refactor => 'f',
+            Pass::RefactorZ => 'F',
+            Pass::Resub => 's',
+            Pass::ResubZ => 'S',
+            Pass::Balance => 'b',
+        }
+    }
+
+    /// Parses a single-letter mnemonic.
+    pub fn from_mnemonic(c: char) -> Option<Pass> {
+        Pass::ALL.into_iter().find(|p| p.mnemonic() == c)
+    }
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.command())
+    }
+}
+
+impl FromStr for Pass {
+    type Err = ParsePassError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim();
+        Pass::ALL
+            .into_iter()
+            .find(|p| p.command() == norm)
+            .or_else(|| {
+                let mut chars = norm.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Pass::from_mnemonic(c),
+                    _ => None,
+                }
+            })
+            .ok_or_else(|| ParsePassError(s.to_string()))
+    }
+}
+
+/// Error returned when parsing a [`Pass`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePassError(String);
+
+impl fmt::Display for ParsePassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown synthesis pass `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParsePassError {}
+
+/// An ordered sequence of passes.
+///
+/// # Example
+///
+/// ```
+/// use almost_aig::{Aig, Script};
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let c = aig.add_input();
+/// let ab = aig.and(a, b);
+/// let f = aig.xor(ab, c);
+/// aig.add_output(f);
+/// let out = Script::resyn2().apply(&aig);
+/// assert_eq!(out.num_inputs(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Script(pub Vec<Pass>);
+
+impl Script {
+    /// The empty script.
+    pub fn new() -> Self {
+        Script(Vec::new())
+    }
+
+    /// The classic `resyn2` script (`b; rw; rf; b; rw; rwz; b; rfz; rwz; b`),
+    /// the paper's baseline recipe. Conveniently exactly L = 10 steps.
+    pub fn resyn2() -> Self {
+        Script(vec![
+            Pass::Balance,
+            Pass::Rewrite,
+            Pass::Refactor,
+            Pass::Balance,
+            Pass::Rewrite,
+            Pass::RewriteZ,
+            Pass::Balance,
+            Pass::RefactorZ,
+            Pass::RewriteZ,
+            Pass::Balance,
+        ])
+    }
+
+    /// Applies all passes in order.
+    pub fn apply(&self, aig: &Aig) -> Aig {
+        let mut current = aig.clone();
+        for pass in &self.0 {
+            current = pass.apply(&current);
+        }
+        current
+    }
+
+    /// The passes of the script.
+    pub fn passes(&self) -> &[Pass] {
+        &self.0
+    }
+
+    /// Script length.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the script has no passes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Encodes the script as a mnemonic string (e.g. `bwfbwWbFWb`).
+    pub fn to_mnemonics(&self) -> String {
+        self.0.iter().map(|p| p.mnemonic()).collect()
+    }
+
+    /// Parses a mnemonic string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePassError`] on the first unknown character.
+    pub fn from_mnemonics(s: &str) -> Result<Self, ParsePassError> {
+        s.chars()
+            .map(|c| Pass::from_mnemonic(c).ok_or_else(|| ParsePassError(c.to_string())))
+            .collect::<Result<Vec<_>, _>>()
+            .map(Script)
+    }
+}
+
+impl fmt::Display for Script {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for p in &self.0 {
+            if !first {
+                f.write_str("; ")?;
+            }
+            first = false;
+            f.write_str(p.command())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Pass> for Script {
+    fn from_iter<T: IntoIterator<Item = Pass>>(iter: T) -> Self {
+        Script(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::probably_equivalent;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Builds a random DAG with the given number of inputs and AND nodes.
+    pub(crate) fn random_aig(num_inputs: usize, num_ands: usize, seed: u64) -> Aig {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut aig = Aig::new();
+        let mut pool: Vec<crate::aig::Lit> =
+            (0..num_inputs).map(|_| aig.add_input()).collect();
+        while aig.num_ands() < num_ands {
+            let a = pool[rng.random_range(0..pool.len())];
+            let b = pool[rng.random_range(0..pool.len())];
+            let (ca, cb) = (rng.random::<bool>(), rng.random::<bool>());
+            let lit = aig.and(a.xor_complement(ca), b.xor_complement(cb));
+            if !lit.is_const() {
+                pool.push(lit);
+            }
+        }
+        // A handful of outputs over the deepest nodes.
+        let n_out = 4.min(pool.len());
+        for i in 0..n_out {
+            let lit = pool[pool.len() - 1 - i];
+            aig.add_output(lit);
+        }
+        aig
+    }
+
+    #[test]
+    fn every_pass_preserves_function() {
+        for seed in 0..4 {
+            let aig = random_aig(8, 60, seed);
+            for pass in Pass::ALL {
+                let out = pass.apply(&aig);
+                assert_eq!(out.num_inputs(), aig.num_inputs());
+                assert_eq!(out.num_outputs(), aig.num_outputs());
+                assert!(
+                    probably_equivalent(&aig, &out, 16, 99),
+                    "{pass} broke equivalence on seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resyn2_preserves_function_and_does_not_blow_up() {
+        let aig = random_aig(10, 120, 7);
+        let out = Script::resyn2().apply(&aig);
+        assert!(probably_equivalent(&aig, &out, 16, 5));
+        assert!(
+            out.num_ands() <= aig.num_ands() + aig.num_ands() / 4,
+            "resyn2 grew the graph: {} -> {}",
+            aig.num_ands(),
+            out.num_ands()
+        );
+    }
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        let script = Script::resyn2();
+        let s = script.to_mnemonics();
+        assert_eq!(Script::from_mnemonics(&s).expect("parses"), script);
+        assert!(Script::from_mnemonics("bxq").is_err());
+    }
+
+    #[test]
+    fn pass_parse_roundtrip() {
+        for pass in Pass::ALL {
+            assert_eq!(pass.command().parse::<Pass>().expect("parses"), pass);
+            assert_eq!(
+                pass.mnemonic().to_string().parse::<Pass>().expect("parses"),
+                pass
+            );
+        }
+        assert!("dch".parse::<Pass>().is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Pass::RewriteZ.to_string(), "rewrite -z");
+        let s = Script(vec![Pass::Balance, Pass::Rewrite]);
+        assert_eq!(s.to_string(), "balance; rewrite");
+    }
+}

@@ -1,0 +1,148 @@
+//! Reconvergence-driven cut growth, shared by `refactor` and `resub`.
+
+use crate::aig::{Aig, Var};
+
+/// Grows a reconvergence-driven cut of `root` with at most `max_leaves`
+/// leaves.
+///
+/// Starting from the fanins of `root`, the leaf whose expansion increases
+/// the leaf count least (reconvergent leaves may even *decrease* it) is
+/// expanded repeatedly until no expansion fits within `max_leaves`.
+///
+/// Returns the sorted leaf variables.
+///
+/// # Panics
+///
+/// Panics if `root` is not an AND node.
+pub fn reconvergence_cut(aig: &Aig, root: Var, max_leaves: usize) -> Vec<Var> {
+    let (a, b) = aig
+        .and_fanins(root)
+        .expect("reconvergence cut root must be an AND node");
+    let mut leaves: Vec<Var> = vec![a.var(), b.var()];
+    leaves.dedup();
+
+    loop {
+        let mut best: Option<(isize, usize)> = None; // (cost, leaf index)
+        for (i, &leaf) in leaves.iter().enumerate() {
+            let Some((fa, fb)) = aig.and_fanins(leaf) else {
+                continue; // inputs / constant cannot be expanded
+            };
+            let mut added = 0isize;
+            for f in [fa.var(), fb.var()] {
+                if !leaves.contains(&f) {
+                    added += 1;
+                }
+            }
+            if fa.var() == fb.var() {
+                added = added.min(1);
+            }
+            let cost = added - 1; // we remove the expanded leaf itself
+            let new_total = leaves.len() as isize + cost;
+            if new_total as usize > max_leaves {
+                continue;
+            }
+            if best.map_or(true, |(bc, _)| cost < bc) {
+                best = Some((cost, i));
+            }
+        }
+        let Some((_, idx)) = best else {
+            break;
+        };
+        let leaf = leaves.swap_remove(idx);
+        let (fa, fb) = aig.and_fanins(leaf).expect("expandable leaf is an AND");
+        for f in [fa.var(), fb.var()] {
+            if !leaves.contains(&f) {
+                leaves.push(f);
+            }
+        }
+    }
+    leaves.sort_unstable();
+    leaves
+}
+
+/// Collects the interior "volume" of a window: every node on a path from
+/// the cut leaves to `root`, including `root`, excluding the leaves.
+///
+/// Returned in topological order.
+pub fn window_volume(aig: &Aig, root: Var, leaves: &[Var]) -> Vec<Var> {
+    let leaf_set: std::collections::HashSet<Var> = leaves.iter().copied().collect();
+    let mut volume = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    fn go(
+        aig: &Aig,
+        v: Var,
+        leaf_set: &std::collections::HashSet<Var>,
+        seen: &mut std::collections::HashSet<Var>,
+        volume: &mut Vec<Var>,
+    ) {
+        if leaf_set.contains(&v) || !seen.insert(v) || !aig.is_and(v) {
+            return;
+        }
+        let (a, b) = aig.and_fanins(v).expect("is AND");
+        go(aig, a.var(), leaf_set, seen, volume);
+        go(aig, b.var(), leaf_set, seen, volume);
+        volume.push(v);
+    }
+    go(aig, root, &leaf_set, &mut seen, &mut volume);
+    volume
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::Aig;
+
+    #[test]
+    fn cut_of_simple_tree() {
+        let mut aig = Aig::new();
+        let ins: Vec<_> = (0..4).map(|_| aig.add_input()).collect();
+        let x = aig.and(ins[0], ins[1]);
+        let y = aig.and(ins[2], ins[3]);
+        let z = aig.and(x, y);
+        aig.add_output(z);
+        let cut = reconvergence_cut(&aig, z.var(), 8);
+        let mut want: Vec<Var> = ins.iter().map(|l| l.var()).collect();
+        want.sort_unstable();
+        assert_eq!(cut, want);
+    }
+
+    #[test]
+    fn cut_respects_limit() {
+        let mut aig = Aig::new();
+        let ins: Vec<_> = (0..16).map(|_| aig.add_input()).collect();
+        let f = aig.and_many(&ins);
+        aig.add_output(f);
+        let cut = reconvergence_cut(&aig, f.var(), 6);
+        assert!(cut.len() <= 6);
+    }
+
+    #[test]
+    fn reconvergence_shrinks_leaf_count() {
+        // f = (a&b) & (a&c): expanding both fanins reconverges on a.
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let ab = aig.and(a, b);
+        let ac = aig.and(a, c);
+        let f = aig.and(ab, ac);
+        aig.add_output(f);
+        let cut = reconvergence_cut(&aig, f.var(), 8);
+        let mut want = vec![a.var(), b.var(), c.var()];
+        want.sort_unstable();
+        assert_eq!(cut, want);
+    }
+
+    #[test]
+    fn volume_is_topological_and_excludes_leaves() {
+        let mut aig = Aig::new();
+        let ins: Vec<_> = (0..4).map(|_| aig.add_input()).collect();
+        let x = aig.and(ins[0], ins[1]);
+        let y = aig.and(ins[2], ins[3]);
+        let z = aig.and(x, y);
+        aig.add_output(z);
+        let leaves: Vec<Var> = ins.iter().map(|l| l.var()).collect();
+        let vol = window_volume(&aig, z.var(), &leaves);
+        assert_eq!(vol, vec![x.var(), y.var(), z.var()]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Experiment scaling: `quick` (laptop-friendly defaults used by `cargo
+//! bench`) vs `paper` (the §IV-A hyperparameters).
+//!
+//! Selected via the `ALMOST_SCALE` environment variable (`quick` is the
+//! default; set `ALMOST_SCALE=paper` to reproduce at full scale).
+
+use crate::proxy::ProxyConfig;
+use crate::sa::SaConfig;
+use almost_attacks::subgraph::SubgraphConfig;
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sample counts / epochs / SA budgets so every bench target
+    /// finishes in minutes.
+    Quick,
+    /// The paper's §IV-A settings (1000 samples, 350 epochs, R = 50,
+    /// 200-sample augments, 100 SA iterations, 1000-recipe random set).
+    Paper,
+}
+
+impl Scale {
+    /// Reads `ALMOST_SCALE` (default [`Scale::Quick`]).
+    pub fn from_env() -> Scale {
+        match std::env::var("ALMOST_SCALE").as_deref() {
+            Ok("paper") | Ok("PAPER") => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Proxy-model training configuration at this scale.
+    pub fn proxy_config(self, seed: u64) -> ProxyConfig {
+        match self {
+            Scale::Quick => ProxyConfig {
+                initial_samples: 120,
+                augment_samples: 40,
+                epochs: 36,
+                period: 12,
+                relock_key_size: 40,
+                hidden: 20,
+                layers: 2,
+                batch_size: 32,
+                learning_rate: 5e-3,
+                subgraph: SubgraphConfig {
+                    hops: 3,
+                    max_nodes: 32,
+                },
+                adversarial_sa: SaConfig {
+                    iterations: 6,
+                    seed: seed ^ 0xAD,
+                    ..SaConfig::default()
+                },
+                seed,
+            },
+            Scale::Paper => ProxyConfig {
+                initial_samples: 1000,
+                augment_samples: 200,
+                epochs: 350,
+                period: 50,
+                relock_key_size: 32,
+                hidden: 32,
+                layers: 3,
+                batch_size: 64,
+                learning_rate: 3e-3,
+                subgraph: SubgraphConfig {
+                    hops: 3,
+                    max_nodes: 48,
+                },
+                adversarial_sa: SaConfig {
+                    iterations: 20,
+                    seed: seed ^ 0xAD,
+                    ..SaConfig::default()
+                },
+                seed,
+            },
+        }
+    }
+
+    /// Recipe-search SA configuration (Fig. 4: 100 iterations, T0 = 120,
+    /// acceptance = 1.8).
+    pub fn sa_config(self, seed: u64) -> SaConfig {
+        match self {
+            Scale::Quick => SaConfig {
+                iterations: 7,
+                seed,
+                ..SaConfig::default()
+            },
+            Scale::Paper => SaConfig {
+                iterations: 100,
+                seed,
+                ..SaConfig::default()
+            },
+        }
+    }
+
+    /// Size of the "random set" used in Table I.
+    pub fn random_set_size(self) -> usize {
+        match self {
+            Scale::Quick => 4,
+            Scale::Paper => 1000,
+        }
+    }
+
+    /// Key bits actually evaluated by the per-bit attacks (SCOPE and the
+    /// redundancy attack specialise + synthesise per bit, so quick mode
+    /// samples a subset).
+    pub fn attack_bit_sample(self) -> Option<usize> {
+        match self {
+            Scale::Quick => Some(8),
+            Scale::Paper => None,
+        }
+    }
+
+    /// Key sizes evaluated (the paper uses 64 and 128).
+    pub fn key_sizes(self) -> &'static [usize] {
+        match self {
+            Scale::Quick => &[64],
+            Scale::Paper => &[64, 128],
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_quick() {
+        // (Does not consult the env var, to stay hermetic.)
+        let s = Scale::Quick;
+        assert_eq!(s.label(), "quick");
+        assert!(s.proxy_config(1).initial_samples < 500);
+    }
+
+    #[test]
+    fn paper_scale_matches_section_iv_a() {
+        let cfg = Scale::Paper.proxy_config(0);
+        assert_eq!(cfg.initial_samples, 1000);
+        assert_eq!(cfg.augment_samples, 200);
+        assert_eq!(cfg.epochs, 350);
+        assert_eq!(cfg.period, 50);
+        let sa = Scale::Paper.sa_config(0);
+        assert_eq!(sa.iterations, 100);
+        assert_eq!(sa.initial_temperature, 120.0);
+        assert_eq!(sa.acceptance, 1.8);
+        assert_eq!(Scale::Paper.random_set_size(), 1000);
+        assert_eq!(Scale::Paper.key_sizes(), &[64, 128]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Joint PPA + security optimisation (the paper's stated future work:
+//! "jointly optimizing PPA and security metrics").
+//!
+//! A weighted scalarisation of the Eq.-1 security objective with
+//! normalised area and delay: `w_sec · |acc − 0.5| / 0.5 + w_area ·
+//! area/area₀ + w_delay · delay/delay₀`, searched with the same annealer.
+//! Setting the PPA weights to zero recovers plain ALMOST; the ablation
+//! bench sweeps the weights.
+
+use crate::proxy::ProxyModel;
+use crate::recipe::{Recipe, SynthesisCache};
+use crate::sa::{anneal, SaConfig};
+use almost_locking::LockedCircuit;
+use almost_netlist::{analyze, map_aig, CellLibrary, MapConfig, PpaReport};
+
+/// Scalarisation weights.
+#[derive(Clone, Copy, Debug)]
+pub struct JointWeights {
+    /// Weight on the normalised security objective `|acc − 0.5| / 0.5`.
+    pub security: f64,
+    /// Weight on area / baseline-area.
+    pub area: f64,
+    /// Weight on delay / baseline-delay.
+    pub delay: f64,
+}
+
+impl Default for JointWeights {
+    fn default() -> Self {
+        JointWeights {
+            security: 1.0,
+            area: 0.25,
+            delay: 0.25,
+        }
+    }
+}
+
+/// One iteration record of the joint search.
+#[derive(Clone, Copy, Debug)]
+pub struct JointTracePoint {
+    /// Proxy-predicted attack accuracy.
+    pub accuracy: f64,
+    /// Area ratio vs. the baseline.
+    pub area_ratio: f64,
+    /// Delay ratio vs. the baseline.
+    pub delay_ratio: f64,
+    /// Scalarised objective.
+    pub objective: f64,
+}
+
+/// Result of the joint search.
+#[derive(Clone, Debug)]
+pub struct JointResult {
+    /// The selected recipe.
+    pub recipe: Recipe,
+    /// Final accuracy / area / delay of the selected recipe.
+    pub final_point: JointTracePoint,
+    /// Per-iteration trace.
+    pub series: Vec<JointTracePoint>,
+}
+
+/// Runs the joint security+PPA recipe search.
+///
+/// `baseline` normalises the PPA terms (use the resyn2 report).
+pub fn joint_search(
+    locked: &LockedCircuit,
+    proxy: &ProxyModel,
+    weights: JointWeights,
+    baseline: &PpaReport,
+    library: &CellLibrary,
+    sa: &SaConfig,
+) -> JointResult {
+    let mut cache = SynthesisCache::new(locked.aig.clone());
+    let mut series: Vec<JointTracePoint> = Vec::with_capacity(sa.iterations + 1);
+    let base_area = baseline.area.max(1e-9);
+    let base_delay = baseline.delay.max(1e-9);
+    let mut evaluate = |recipe: &Recipe| -> f64 {
+        let deployed = cache.apply(recipe);
+        let accuracy = proxy.predict_accuracy(locked, &deployed);
+        let netlist = map_aig(&deployed, library, &MapConfig::no_opt());
+        let report = analyze(&netlist, &deployed, library, 4, 13);
+        let area_ratio = report.area / base_area;
+        let delay_ratio = report.delay / base_delay;
+        let objective = weights.security * (accuracy - 0.5).abs() / 0.5
+            + weights.area * area_ratio
+            + weights.delay * delay_ratio;
+        series.push(JointTracePoint {
+            accuracy,
+            area_ratio,
+            delay_ratio,
+            objective,
+        });
+        objective
+    };
+    let (best, _trace) = anneal(Recipe::resyn2(), &mut evaluate, sa);
+    drop(evaluate);
+
+    // Recompute the final point for the selected recipe.
+    let deployed = best.apply(&locked.aig);
+    let accuracy = proxy.predict_accuracy(locked, &deployed);
+    let netlist = map_aig(&deployed, library, &MapConfig::no_opt());
+    let report = analyze(&netlist, &deployed, library, 4, 13);
+    let final_point = JointTracePoint {
+        accuracy,
+        area_ratio: report.area / base_area,
+        delay_ratio: report.delay / base_delay,
+        objective: weights.security * (accuracy - 0.5).abs() / 0.5
+            + weights.area * report.area / base_area
+            + weights.delay * report.delay / base_delay,
+    };
+    let series = if series.is_empty() {
+        series
+    } else {
+        series.split_off(1.min(series.len()))
+    };
+    JointResult {
+        recipe: best,
+        final_point,
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proxy::{train_proxy, ProxyConfig, ProxyKind};
+    use almost_attacks::subgraph::SubgraphConfig;
+    use almost_circuits::IscasBenchmark;
+    use almost_locking::{LockingScheme, Rll};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn joint_search_runs_and_reports() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let locked = Rll::new(12)
+            .lock(&IscasBenchmark::C432.build(), &mut rng)
+            .expect("lockable");
+        let proxy = train_proxy(
+            &locked,
+            ProxyKind::Resyn2,
+            &ProxyConfig {
+                initial_samples: 48,
+                epochs: 8,
+                period: 8,
+                hidden: 8,
+                subgraph: SubgraphConfig {
+                    hops: 2,
+                    max_nodes: 24,
+                },
+                ..ProxyConfig::default()
+            },
+        );
+        let lib = CellLibrary::nangate45();
+        let base_aig = Recipe::resyn2().apply(&locked.aig);
+        let base_nl = map_aig(&base_aig, &lib, &MapConfig::no_opt());
+        let baseline = analyze(&base_nl, &base_aig, &lib, 4, 1);
+        let sa = SaConfig {
+            iterations: 4,
+            seed: 2,
+            ..SaConfig::default()
+        };
+        let result = joint_search(
+            &locked,
+            &proxy,
+            JointWeights::default(),
+            &baseline,
+            &lib,
+            &sa,
+        );
+        assert_eq!(result.series.len(), 4);
+        assert!(result.final_point.area_ratio > 0.0);
+        assert!(result.final_point.objective.is_finite());
+        // Zero PPA weights must recover the pure security objective.
+        let pure = joint_search(
+            &locked,
+            &proxy,
+            JointWeights {
+                security: 1.0,
+                area: 0.0,
+                delay: 0.0,
+            },
+            &baseline,
+            &lib,
+            &sa,
+        );
+        for p in &pure.series {
+            assert!((p.objective - (p.accuracy - 0.5).abs() / 0.5).abs() < 1e-9);
+        }
+    }
+}

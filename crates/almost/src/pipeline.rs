@@ -1,0 +1,139 @@
+//! The end-to-end ALMOST flow (Fig. 3): lock → adversarially train M\* →
+//! security-aware SA recipe search → deploy.
+
+use crate::proxy::{train_proxy, ProxyConfig, ProxyKind, ProxyModel};
+use crate::recipe::Recipe;
+use crate::sa::SaConfig;
+use crate::security::{generate_secure_recipe, SecurityResult};
+use almost_aig::Aig;
+use almost_locking::{LockError, LockedCircuit, LockingScheme, Rll};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// End-to-end pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct AlmostConfig {
+    /// Key size for the initial RLL locking.
+    pub key_size: usize,
+    /// Proxy-model kind used as the SA evaluator (the paper recommends
+    /// [`ProxyKind::Adversarial`]).
+    pub proxy_kind: ProxyKind,
+    /// Proxy training configuration.
+    pub proxy: ProxyConfig,
+    /// Recipe-search annealer configuration.
+    pub sa: SaConfig,
+    /// Locking seed.
+    pub seed: u64,
+}
+
+impl Default for AlmostConfig {
+    fn default() -> Self {
+        AlmostConfig {
+            key_size: 64,
+            proxy_kind: ProxyKind::Adversarial,
+            proxy: ProxyConfig::default(),
+            sa: SaConfig::default(),
+            seed: 0xA1,
+        }
+    }
+}
+
+/// Everything the pipeline produces.
+#[derive(Clone, Debug)]
+pub struct AlmostOutcome {
+    /// The locked circuit (with ground-truth key).
+    pub locked: LockedCircuit,
+    /// The trained proxy model.
+    pub proxy: ProxyModel,
+    /// The security-aware recipe (S_ALMOST).
+    pub recipe: Recipe,
+    /// The deployed netlist: `recipe` applied to the locked circuit.
+    pub deployed: Aig,
+    /// The recipe-search result (accuracy series etc.).
+    pub search: SecurityResult,
+}
+
+/// Runs the full ALMOST flow on `design`.
+///
+/// # Errors
+///
+/// Returns [`LockError`] if the design is too small for the configured
+/// key size.
+pub fn run_almost(design: &Aig, config: &AlmostConfig) -> Result<AlmostOutcome, LockError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let locked = Rll::new(config.key_size).lock(design, &mut rng)?;
+    let proxy = train_proxy(&locked, config.proxy_kind, &config.proxy);
+    let search = generate_secure_recipe(&locked, &proxy, &config.sa);
+    let deployed = search.recipe.apply(&locked.aig);
+    Ok(AlmostOutcome {
+        locked,
+        proxy,
+        recipe: search.recipe.clone(),
+        deployed,
+        search,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use almost_attacks::subgraph::SubgraphConfig;
+    use almost_circuits::IscasBenchmark;
+    use almost_locking::apply_key;
+
+    fn quick() -> AlmostConfig {
+        AlmostConfig {
+            key_size: 16,
+            proxy_kind: ProxyKind::Adversarial,
+            proxy: ProxyConfig {
+                initial_samples: 48,
+                augment_samples: 16,
+                epochs: 10,
+                period: 5,
+                hidden: 8,
+                subgraph: SubgraphConfig {
+                    hops: 2,
+                    max_nodes: 24,
+                },
+                adversarial_sa: SaConfig {
+                    iterations: 3,
+                    seed: 2,
+                    ..SaConfig::default()
+                },
+                ..ProxyConfig::default()
+            },
+            sa: SaConfig {
+                iterations: 5,
+                seed: 3,
+                ..SaConfig::default()
+            },
+            seed: 4,
+        }
+    }
+
+    #[test]
+    fn pipeline_end_to_end_preserves_function() {
+        let design = IscasBenchmark::C432.build();
+        let outcome = run_almost(&design, &quick()).expect("runs");
+        // The deployed netlist under the correct key equals the design.
+        let restored = apply_key(
+            &outcome.deployed,
+            outcome.locked.key_input_start,
+            outcome.locked.key.bits(),
+        );
+        assert!(almost_aig::sim::probably_equivalent(
+            &design, &restored, 16, 8
+        ));
+        assert_eq!(outcome.recipe.len(), 10);
+    }
+
+    #[test]
+    fn pipeline_rejects_tiny_designs() {
+        let mut tiny = Aig::new();
+        let a = tiny.add_input();
+        let b = tiny.add_input();
+        let f = tiny.and(a, b);
+        tiny.add_output(f);
+        assert!(run_almost(&tiny, &quick()).is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! Attacker re-synthesis with PPA objectives (the paper's §IV-E, Fig. 5).
+//!
+//! After ALMOST deploys a security-aware netlist, an attacker may
+//! re-synthesise it for area or delay — the "typical" synthesis goals —
+//! hoping accuracy correlates with the optimisation and leads back to a
+//! learnable structure. This module runs that experiment: SA minimising
+//! mapped area or delay, recording the proxy-model attack accuracy and the
+//! PPA ratio (vs. a baseline) at every iteration.
+
+use crate::proxy::ProxyModel;
+use crate::recipe::{Recipe, SynthesisCache};
+use crate::sa::{anneal, SaConfig};
+use almost_locking::LockedCircuit;
+use almost_netlist::{analyze, map_aig, CellLibrary, MapConfig, PpaReport};
+
+/// Which PPA metric the attacker minimises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PpaObjective {
+    /// Minimise critical-path delay.
+    Delay,
+    /// Minimise cell area.
+    Area,
+}
+
+impl PpaObjective {
+    /// Extracts the objective value from a report.
+    pub fn of(self, report: &PpaReport) -> f64 {
+        match self {
+            PpaObjective::Delay => report.delay,
+            PpaObjective::Area => report.area,
+        }
+    }
+
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            PpaObjective::Delay => "delay",
+            PpaObjective::Area => "area",
+        }
+    }
+}
+
+/// One Fig. 5 trace point.
+#[derive(Clone, Copy, Debug)]
+pub struct PpaTracePoint {
+    /// Proxy-predicted attack accuracy of the re-synthesised netlist.
+    pub accuracy: f64,
+    /// PPA metric of this candidate divided by the baseline metric.
+    pub ratio: f64,
+}
+
+/// Result of the re-synthesis experiment.
+#[derive(Clone, Debug)]
+pub struct ResynthesisResult {
+    /// Best recipe found by the attacker's PPA search.
+    pub recipe: Recipe,
+    /// Per-iteration (accuracy, ratio) series — the Fig. 5 curves.
+    pub series: Vec<PpaTracePoint>,
+    /// Pearson correlation between accuracy and ratio over the series
+    /// (the paper's point: there is *no* usable correlation).
+    pub correlation: f64,
+}
+
+/// Runs the attacker's PPA-driven re-synthesis search.
+///
+/// * `deployed` — the ALMOST-synthesised netlist (inside `locked.aig`'s
+///   interface, carried by the caller as a [`LockedCircuit`] whose `aig`
+///   *is* the deployed netlist).
+/// * `baseline` — the PPA report the ratios are normalised against
+///   (the paper uses resyn2's numbers).
+pub fn resynthesis_search(
+    deployed: &LockedCircuit,
+    proxy: &ProxyModel,
+    objective: PpaObjective,
+    baseline: &PpaReport,
+    library: &CellLibrary,
+    sa: &SaConfig,
+) -> ResynthesisResult {
+    let mut cache = SynthesisCache::new(deployed.aig.clone());
+    let mut series: Vec<PpaTracePoint> = Vec::with_capacity(sa.iterations);
+    let base_value = objective.of(baseline).max(1e-9);
+    let mut evaluate = |recipe: &Recipe| -> f64 {
+        let resynth = cache.apply(recipe);
+        let netlist = map_aig(&resynth, library, &MapConfig::no_opt());
+        let report = analyze(&netlist, &resynth, library, 4, 11);
+        let accuracy = proxy.predict_accuracy(deployed, &resynth);
+        let value = objective.of(&report);
+        series.push(PpaTracePoint {
+            accuracy,
+            ratio: value / base_value,
+        });
+        value
+    };
+    let (best, _trace) = anneal(Recipe::resyn2(), &mut evaluate, sa);
+    drop(evaluate);
+    let series = series.split_off(1.min(series.len()));
+    let correlation = pearson(
+        &series.iter().map(|p| p.accuracy).collect::<Vec<_>>(),
+        &series.iter().map(|p| p.ratio).collect::<Vec<_>>(),
+    );
+    ResynthesisResult {
+        recipe: best,
+        series,
+        correlation,
+    }
+}
+
+/// Pearson correlation coefficient (0 when degenerate).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs[..n].iter().sum::<f64>() / n as f64;
+    let my = ys[..n].iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 1e-12 || vy <= 1e-12 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proxy::{train_proxy, ProxyConfig, ProxyKind};
+    use almost_attacks::subgraph::SubgraphConfig;
+    use almost_circuits::IscasBenchmark;
+    use almost_locking::{LockingScheme, Rll};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-9);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-9);
+        assert_eq!(pearson(&[1.0], &[1.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn resynthesis_search_produces_series() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let locked = Rll::new(12)
+            .lock(&IscasBenchmark::C432.build(), &mut rng)
+            .expect("lockable");
+        let proxy_cfg = ProxyConfig {
+            initial_samples: 48,
+            epochs: 8,
+            period: 8,
+            hidden: 8,
+            subgraph: SubgraphConfig {
+                hops: 2,
+                max_nodes: 24,
+            },
+            ..ProxyConfig::default()
+        };
+        let proxy = train_proxy(&locked, ProxyKind::Resyn2, &proxy_cfg);
+        let lib = CellLibrary::nangate45();
+        let baseline_aig = Recipe::resyn2().apply(&locked.aig);
+        let baseline_nl = map_aig(&baseline_aig, &lib, &MapConfig::no_opt());
+        let baseline = analyze(&baseline_nl, &baseline_aig, &lib, 4, 1);
+        let sa = SaConfig {
+            iterations: 4,
+            seed: 6,
+            ..SaConfig::default()
+        };
+        for objective in [PpaObjective::Delay, PpaObjective::Area] {
+            let result =
+                resynthesis_search(&locked, &proxy, objective, &baseline, &lib, &sa);
+            assert_eq!(result.series.len(), 4);
+            for p in &result.series {
+                assert!(p.ratio > 0.0);
+                assert!((0.0..=1.0).contains(&p.accuracy));
+            }
+            assert!(result.correlation.abs() <= 1.0);
+        }
+    }
+}

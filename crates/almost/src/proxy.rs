@@ -1,0 +1,403 @@
+//! Attacker proxy models: M_resyn2, M_random and the adversarially trained
+//! M\* of Algorithm 1.
+//!
+//! ALMOST's recipe search (Eq. 1) needs to evaluate the attack accuracy of
+//! *arbitrary* recipes without retraining an attack model per candidate
+//! (Fig. 2). The paper compares three evaluators:
+//!
+//! - **M_resyn2** — trained on re-locked circuits re-synthesised with the
+//!   defender's baseline recipe only; accurate there, poor elsewhere.
+//! - **M_random** — trained on random recipes; broader but noisy.
+//! - **M\*** — adversarially re-trained (Algorithm 1): every `R` epochs an
+//!   SA search finds the recipe that *maximises* the current model's loss
+//!   (Eq. 3–5), and localities synthesised with that recipe are added to
+//!   the training set (the min–max objective of Eq. 6).
+
+use crate::recipe::{Recipe, RECIPE_LENGTH};
+use crate::sa::{anneal, SaConfig};
+use almost_aig::Aig;
+use almost_attacks::subgraph::{extract_all_localities, SubgraphConfig, NUM_FEATURES};
+use almost_locking::{relock, LockedCircuit, Rll};
+use almost_ml::gin::{Graph, GinClassifier};
+use almost_ml::tape::softplus;
+use almost_ml::train::{train, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which training distribution a proxy model was built from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProxyKind {
+    /// Trained on the defender's baseline recipe only.
+    Resyn2,
+    /// Trained on uniformly random recipes.
+    Random,
+    /// Adversarially re-trained (Algorithm 1).
+    Adversarial,
+}
+
+impl ProxyKind {
+    /// Display name matching the paper's notation.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProxyKind::Resyn2 => "M_resyn2",
+            ProxyKind::Random => "M_random",
+            ProxyKind::Adversarial => "M*",
+        }
+    }
+}
+
+/// Proxy-model training configuration (§IV-A defaults, scaled via
+/// [`crate::config::Scale`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ProxyConfig {
+    /// Initial training-set size (paper: 1000).
+    pub initial_samples: usize,
+    /// Adversarial samples added per augmentation (paper: 200).
+    pub augment_samples: usize,
+    /// Total training epochs (paper: 350).
+    pub epochs: usize,
+    /// Augmentation periodicity R (paper: 50).
+    pub period: usize,
+    /// Key gates inserted per re-lock round.
+    pub relock_key_size: usize,
+    /// GIN hidden width.
+    pub hidden: usize,
+    /// GIN rounds.
+    pub layers: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Locality shape.
+    pub subgraph: SubgraphConfig,
+    /// SA budget for the inner adversarial-recipe search.
+    pub adversarial_sa: SaConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            initial_samples: 240,
+            augment_samples: 48,
+            epochs: 90,
+            period: 30,
+            relock_key_size: 24,
+            hidden: 24,
+            layers: 2,
+            batch_size: 32,
+            learning_rate: 5e-3,
+            subgraph: SubgraphConfig::default(),
+            adversarial_sa: SaConfig {
+                iterations: 10,
+                seed: 0xADF,
+                ..SaConfig::default()
+            },
+            seed: 0xA1507,
+        }
+    }
+}
+
+/// A trained proxy model: predicts attack accuracy for any synthesised
+/// deployment of the locked circuit.
+#[derive(Clone, Debug)]
+pub struct ProxyModel {
+    kind: ProxyKind,
+    classifier: GinClassifier,
+    subgraph: SubgraphConfig,
+}
+
+impl ProxyModel {
+    /// Which distribution this proxy was trained on.
+    pub fn kind(&self) -> ProxyKind {
+        self.kind
+    }
+
+    /// The underlying GIN classifier.
+    pub fn classifier(&self) -> &GinClassifier {
+        &self.classifier
+    }
+
+    /// Predicted attack accuracy on a deployment of `locked` (a
+    /// synthesised version with the same input interface): fraction of key
+    /// bits the model recovers.
+    pub fn predict_accuracy(&self, locked: &LockedCircuit, deployed: &Aig) -> f64 {
+        let positions: Vec<usize> = locked.key_input_positions().collect();
+        let graphs =
+            extract_all_localities(deployed, &positions, locked.key.bits(), &self.subgraph);
+        self.classifier.accuracy(&graphs)
+    }
+
+    /// Mean BCE loss of the model over labelled localities (Eq. 3's inner
+    /// objective).
+    pub fn mean_loss(&self, graphs: &[Graph]) -> f64 {
+        if graphs.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0f64;
+        for g in graphs {
+            let p = self.classifier.predict(g);
+            // Reconstruct logit-space BCE from the probability (clamped).
+            let p = p.clamp(1e-6, 1.0 - 1e-6);
+            let z = (p / (1.0 - p)).ln();
+            let y = g.label as u8 as f32;
+            total += (softplus(z) - y * z) as f64;
+        }
+        total / graphs.len() as f64
+    }
+}
+
+/// Generates labelled localities: re-lock, synthesise with a recipe drawn
+/// from `next_recipe`, extract the new key gates' subgraphs.
+pub fn generate_samples(
+    base: &Aig,
+    mut next_recipe: impl FnMut(&mut StdRng) -> Recipe,
+    count: usize,
+    relock_key_size: usize,
+    subgraph: &SubgraphConfig,
+    rng: &mut StdRng,
+) -> Vec<Graph> {
+    let scheme = Rll::new(relock_key_size);
+    let mut data = Vec::with_capacity(count);
+    while data.len() < count {
+        let Ok(relocked) = relock(&scheme, base, rng) else {
+            break;
+        };
+        let recipe = next_recipe(rng);
+        let synthesised = recipe.apply(&relocked.aig);
+        let positions: Vec<usize> = relocked.key_input_positions().collect();
+        data.extend(extract_all_localities(
+            &synthesised,
+            &positions,
+            relocked.key.bits(),
+            subgraph,
+        ));
+    }
+    data.truncate(count);
+    data
+}
+
+/// Trains a proxy model of the given kind on `locked` (Algorithm 1 for
+/// [`ProxyKind::Adversarial`]).
+pub fn train_proxy(locked: &LockedCircuit, kind: ProxyKind, config: &ProxyConfig) -> ProxyModel {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let base = &locked.aig;
+
+    // Initial dataset.
+    let mut data = match kind {
+        ProxyKind::Resyn2 => generate_samples(
+            base,
+            |_| Recipe::resyn2(),
+            config.initial_samples,
+            config.relock_key_size,
+            &config.subgraph,
+            &mut rng,
+        ),
+        ProxyKind::Random | ProxyKind::Adversarial => generate_samples(
+            base,
+            |r| Recipe::random(RECIPE_LENGTH, r),
+            config.initial_samples,
+            config.relock_key_size,
+            &config.subgraph,
+            &mut rng,
+        ),
+    };
+
+    let mut classifier =
+        GinClassifier::new(NUM_FEATURES, config.hidden, config.layers, config.seed);
+
+    if kind != ProxyKind::Adversarial {
+        train(
+            &mut classifier,
+            &data,
+            &TrainConfig {
+                epochs: config.epochs,
+                batch_size: config.batch_size,
+                learning_rate: config.learning_rate,
+                seed: config.seed ^ 0x7EA1,
+            },
+        );
+        return ProxyModel {
+            kind,
+            classifier,
+            subgraph: config.subgraph,
+        };
+    }
+
+    // Algorithm 1: train in R-epoch rounds, augmenting with adversarial
+    // recipes between rounds.
+    let rounds = config.epochs.div_ceil(config.period.max(1));
+    for round in 0..rounds {
+        let epochs_this_round = config.period.min(config.epochs - round * config.period);
+        train(
+            &mut classifier,
+            &data,
+            &TrainConfig {
+                epochs: epochs_this_round,
+                batch_size: config.batch_size,
+                learning_rate: config.learning_rate,
+                seed: config.seed ^ (round as u64) << 8,
+            },
+        );
+        if round + 1 == rounds {
+            break;
+        }
+        // Line 6: s* = SA maximising the current model's loss (Eq. 3).
+        // The loss of a candidate recipe is estimated on one re-locked,
+        // re-synthesised probe batch.
+        let probe = relock(&Rll::new(config.relock_key_size), base, &mut rng)
+            .expect("circuit was lockable before");
+        let probe_positions: Vec<usize> = probe.key_input_positions().collect();
+        let snapshot = ProxyModel {
+            kind,
+            classifier: classifier.clone(),
+            subgraph: config.subgraph,
+        };
+        let mut eval_rng = StdRng::seed_from_u64(config.seed ^ 0xCAFE ^ round as u64);
+        let mut sa_cfg = config.adversarial_sa;
+        sa_cfg.seed ^= round as u64;
+        let (s_star, _trace) = anneal(
+            Recipe::random(RECIPE_LENGTH, &mut eval_rng),
+            |recipe| {
+                let synthesised = recipe.apply(&probe.aig);
+                let graphs = extract_all_localities(
+                    &synthesised,
+                    &probe_positions,
+                    probe.key.bits(),
+                    &config.subgraph,
+                );
+                // SA minimises, we want to MAXIMISE the loss.
+                -snapshot.mean_loss(&graphs)
+            },
+            &sa_cfg,
+        );
+        // Lines 7: augment the training data with s*-synthesised samples.
+        let augmented = generate_samples(
+            base,
+            |_| s_star.clone(),
+            config.augment_samples,
+            config.relock_key_size,
+            &config.subgraph,
+            &mut rng,
+        );
+        data.extend(augmented);
+    }
+
+    ProxyModel {
+        kind,
+        classifier,
+        subgraph: config.subgraph,
+    }
+}
+
+/// Mean predicted accuracy of `model` over `n` random-recipe deployments
+/// of `locked` — the paper's "random set" column in Table I.
+pub fn accuracy_on_random_set(
+    model: &ProxyModel,
+    locked: &LockedCircuit,
+    n: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0.0;
+    for _ in 0..n {
+        let recipe = Recipe::random(RECIPE_LENGTH, &mut rng);
+        let deployed = recipe.apply(&locked.aig);
+        total += model.predict_accuracy(locked, &deployed);
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use almost_circuits::IscasBenchmark;
+    use almost_locking::LockingScheme;
+
+    fn tiny_config() -> ProxyConfig {
+        ProxyConfig {
+            initial_samples: 72,
+            augment_samples: 24,
+            epochs: 20,
+            period: 10,
+            relock_key_size: 24,
+            hidden: 12,
+            layers: 2,
+            batch_size: 24,
+            learning_rate: 8e-3,
+            subgraph: SubgraphConfig {
+                hops: 3,
+                max_nodes: 32,
+            },
+            adversarial_sa: SaConfig {
+                iterations: 4,
+                seed: 1,
+                ..SaConfig::default()
+            },
+            seed: 5,
+        }
+    }
+
+    fn locked_c432() -> LockedCircuit {
+        let mut rng = StdRng::seed_from_u64(2);
+        Rll::new(16)
+            .lock(&IscasBenchmark::C432.build(), &mut rng)
+            .expect("lockable")
+    }
+
+    #[test]
+    fn resyn2_proxy_trains_and_predicts() {
+        let locked = locked_c432();
+        let model = train_proxy(&locked, ProxyKind::Resyn2, &tiny_config());
+        assert_eq!(model.kind(), ProxyKind::Resyn2);
+        let deployed = Recipe::resyn2().apply(&locked.aig);
+        let acc = model.predict_accuracy(&locked, &deployed);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn adversarial_proxy_runs_algorithm_1() {
+        let locked = locked_c432();
+        let model = train_proxy(&locked, ProxyKind::Adversarial, &tiny_config());
+        assert_eq!(model.kind(), ProxyKind::Adversarial);
+        let deployed = Recipe::resyn2().apply(&locked.aig);
+        let acc = model.predict_accuracy(&locked, &deployed);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn random_set_accuracy_is_bounded() {
+        let locked = locked_c432();
+        let model = train_proxy(&locked, ProxyKind::Random, &tiny_config());
+        let acc = accuracy_on_random_set(&model, &locked, 3, 9);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn mean_loss_decreases_with_confidence() {
+        let locked = locked_c432();
+        let model = train_proxy(&locked, ProxyKind::Resyn2, &tiny_config());
+        let deployed = Recipe::resyn2().apply(&locked.aig);
+        let positions: Vec<usize> = locked.key_input_positions().collect();
+        let graphs = extract_all_localities(
+            &deployed,
+            &positions,
+            locked.key.bits(),
+            &tiny_config().subgraph,
+        );
+        let loss = model.mean_loss(&graphs);
+        assert!(loss.is_finite() && loss >= 0.0);
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(ProxyKind::Resyn2.label(), "M_resyn2");
+        assert_eq!(ProxyKind::Random.label(), "M_random");
+        assert_eq!(ProxyKind::Adversarial.label(), "M*");
+    }
+}

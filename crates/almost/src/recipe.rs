@@ -1,0 +1,259 @@
+//! Synthesis recipes: fixed-length pass sequences over the paper's
+//! seven-transformation alphabet, plus a prefix-reusing synthesis cache.
+
+use almost_aig::{Aig, Pass, Script};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::fmt;
+
+/// The paper's recipe length (L = 10).
+pub const RECIPE_LENGTH: usize = 10;
+
+/// A fixed-length synthesis recipe.
+///
+/// # Example
+///
+/// ```
+/// use almost_core::recipe::Recipe;
+/// let r = Recipe::resyn2();
+/// assert_eq!(r.len(), 10);
+/// assert_eq!(r.to_string(), "bwfbwWbFWb");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Recipe {
+    passes: Vec<Pass>,
+}
+
+impl Recipe {
+    /// A recipe from explicit passes.
+    pub fn new(passes: Vec<Pass>) -> Self {
+        Recipe { passes }
+    }
+
+    /// The `resyn2` baseline (exactly [`RECIPE_LENGTH`] steps).
+    pub fn resyn2() -> Self {
+        Recipe {
+            passes: Script::resyn2().0,
+        }
+    }
+
+    /// A uniformly random recipe of `len` steps.
+    pub fn random(len: usize, rng: &mut StdRng) -> Self {
+        Recipe {
+            passes: (0..len)
+                .map(|_| Pass::ALL[rng.random_range(0..Pass::ALL.len())])
+                .collect(),
+        }
+    }
+
+    /// The SA neighbourhood move: replace one random position with a
+    /// different random pass.
+    pub fn mutate(&self, rng: &mut StdRng) -> Recipe {
+        let mut passes = self.passes.clone();
+        if passes.is_empty() {
+            return Recipe { passes };
+        }
+        let pos = rng.random_range(0..passes.len());
+        let current = passes[pos];
+        loop {
+            let candidate = Pass::ALL[rng.random_range(0..Pass::ALL.len())];
+            if candidate != current {
+                passes[pos] = candidate;
+                break;
+            }
+        }
+        Recipe { passes }
+    }
+
+    /// Applies the recipe to an AIG.
+    pub fn apply(&self, aig: &Aig) -> Aig {
+        self.as_script().apply(aig)
+    }
+
+    /// The underlying pass sequence.
+    pub fn passes(&self) -> &[Pass] {
+        &self.passes
+    }
+
+    /// Recipe length.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// True for the empty recipe.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// View as a [`Script`].
+    pub fn as_script(&self) -> Script {
+        Script(self.passes.clone())
+    }
+
+    /// Parses a mnemonic string (e.g. `bwfbwWbFWb`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on unknown mnemonics.
+    pub fn from_mnemonics(s: &str) -> Result<Self, almost_aig::passes::ParsePassError> {
+        Script::from_mnemonics(s).map(|sc| Recipe { passes: sc.0 })
+    }
+
+    /// Length of the longest common prefix with `other`.
+    pub fn common_prefix_len(&self, other: &Recipe) -> usize {
+        self.passes
+            .iter()
+            .zip(&other.passes)
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+}
+
+impl fmt::Display for Recipe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.as_script().to_mnemonics())
+    }
+}
+
+impl fmt::Debug for Recipe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Recipe({self})")
+    }
+}
+
+/// Applies recipes to a fixed base AIG, reusing the longest common prefix
+/// of consecutive requests.
+///
+/// Simulated annealing mutates one position per proposal, so on average
+/// half the recipe is reused — the same trick that makes the paper's
+/// 100-iteration searches affordable.
+pub struct SynthesisCache {
+    base: Aig,
+    steps: Vec<(Pass, Aig)>,
+    hits: usize,
+    misses: usize,
+}
+
+impl SynthesisCache {
+    /// A cache over the given base circuit.
+    pub fn new(base: Aig) -> Self {
+        SynthesisCache {
+            base,
+            steps: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The base circuit.
+    pub fn base(&self) -> &Aig {
+        &self.base
+    }
+
+    /// Applies `recipe`, reusing cached prefix results.
+    pub fn apply(&mut self, recipe: &Recipe) -> Aig {
+        // Find how much of the cached pass chain matches.
+        let mut keep = 0;
+        while keep < self.steps.len().min(recipe.len())
+            && self.steps[keep].0 == recipe.passes()[keep]
+        {
+            keep += 1;
+        }
+        self.hits += keep;
+        self.misses += recipe.len() - keep;
+        self.steps.truncate(keep);
+        for &pass in &recipe.passes()[keep..] {
+            let prev = self
+                .steps
+                .last()
+                .map(|(_, aig)| aig)
+                .unwrap_or(&self.base);
+            let next = pass.apply(prev);
+            self.steps.push((pass, next));
+        }
+        self.steps
+            .last()
+            .map(|(_, aig)| aig.clone())
+            .unwrap_or_else(|| self.base.clone())
+    }
+
+    /// (cached steps reused, steps recomputed) so far.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use almost_aig::sim::probably_equivalent;
+    use rand::SeedableRng;
+
+    fn test_aig() -> Aig {
+        let mut aig = Aig::new();
+        let ins: Vec<_> = (0..6).map(|_| aig.add_input()).collect();
+        let x = aig.xor(ins[0], ins[1]);
+        let y = aig.and(x, ins[2]);
+        let z = aig.mux(ins[3], y, ins[4]);
+        let w = aig.or(z, ins[5]);
+        aig.add_output(w);
+        aig.add_output(y);
+        aig
+    }
+
+    #[test]
+    fn random_recipes_have_requested_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = Recipe::random(RECIPE_LENGTH, &mut rng);
+        assert_eq!(r.len(), RECIPE_LENGTH);
+    }
+
+    #[test]
+    fn mutation_changes_exactly_one_position() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = Recipe::resyn2();
+        for _ in 0..20 {
+            let m = r.mutate(&mut rng);
+            let diffs = r
+                .passes()
+                .iter()
+                .zip(m.passes())
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(diffs, 1);
+        }
+    }
+
+    #[test]
+    fn cache_matches_direct_application() {
+        let base = test_aig();
+        let mut cache = SynthesisCache::new(base.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut recipe = Recipe::random(6, &mut rng);
+        for _ in 0..5 {
+            let cached = cache.apply(&recipe);
+            let direct = recipe.apply(&base);
+            assert_eq!(cached.num_ands(), direct.num_ands());
+            assert!(probably_equivalent(&cached, &direct, 8, 9));
+            recipe = recipe.mutate(&mut rng);
+        }
+        let (hits, misses) = cache.stats();
+        assert!(hits > 0, "mutation chains must reuse prefixes");
+        assert!(misses > 0);
+    }
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        let r = Recipe::resyn2();
+        let s = r.to_string();
+        assert_eq!(Recipe::from_mnemonics(&s).expect("parses"), r);
+    }
+
+    #[test]
+    fn common_prefix() {
+        let a = Recipe::from_mnemonics("bwfbw").expect("parses");
+        let b = Recipe::from_mnemonics("bwfSS").expect("parses");
+        assert_eq!(a.common_prefix_len(&b), 3);
+        assert_eq!(a.common_prefix_len(&a), 5);
+    }
+}

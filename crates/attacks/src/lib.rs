@@ -1,0 +1,32 @@
+//! Oracle-less attacks on logic locking.
+//!
+//! The attacks the ALMOST paper evaluates against (its §II), implemented
+//! over the workspace's own substrates:
+//!
+//! - [`Omla`] — GIN subgraph classification of key-gate localities with
+//!   self-referencing training (re-lock → re-synthesise with the
+//!   defender's recipe → label by inserted bits).
+//! - [`Scope`] — unsupervised constant-propagation attack comparing
+//!   synthesis reports under both constants of each key bit.
+//! - [`Redundancy`] — non-ML testability attack counting SAT-proved
+//!   untestable faults per key hypothesis.
+//! - [`Snapshot`] — SnapShot-style MLP over flattened localities (the
+//!   "classic tensor-based model" family the paper contrasts with OMLA).
+//!
+//! All attacks implement [`OracleLessAttack`] and are scored with the
+//! paper's metric: correctly predicted key bits / key size, unresolved
+//! bits counting as incorrect.
+
+pub mod omla;
+pub mod redundancy;
+pub mod report;
+pub mod scope;
+pub mod snapshot;
+pub mod subgraph;
+
+pub use omla::{Omla, OmlaConfig};
+pub use redundancy::{Redundancy, RedundancyConfig};
+pub use report::{AttackOutcome, AttackTarget, OracleLessAttack};
+pub use scope::{Scope, ScopeConfig};
+pub use snapshot::{Snapshot, SnapshotConfig};
+pub use subgraph::{extract_all_localities, SubgraphConfig, NUM_FEATURES};

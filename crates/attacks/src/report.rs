@@ -1,0 +1,109 @@
+//! Attack targets and outcome reporting.
+
+use almost_aig::{Aig, Script};
+use almost_locking::LockedCircuit;
+
+/// Everything an oracle-less attacker sees: the deployed (synthesised)
+/// locked netlist and — per the paper's threat model — the defender's
+/// synthesis recipe.
+#[derive(Clone, Debug)]
+pub struct AttackTarget {
+    /// The locked circuit (pre-synthesis), including ground truth used only
+    /// for scoring.
+    pub locked: LockedCircuit,
+    /// The defender's synthesis recipe (known to the attacker).
+    pub recipe: Script,
+    /// The deployed netlist: `recipe` applied to the locked circuit.
+    pub deployed: Aig,
+}
+
+impl AttackTarget {
+    /// Synthesises the locked circuit with `recipe` and packages the
+    /// target.
+    pub fn new(locked: LockedCircuit, recipe: Script) -> Self {
+        let deployed = recipe.apply(&locked.aig);
+        AttackTarget {
+            locked,
+            recipe,
+            deployed,
+        }
+    }
+
+    /// Input positions of the victim key inputs.
+    pub fn key_positions(&self) -> Vec<usize> {
+        self.locked.key_input_positions().collect()
+    }
+}
+
+/// The outcome of an attack run.
+#[derive(Clone, Debug)]
+pub struct AttackOutcome {
+    /// Attack name.
+    pub attack: String,
+    /// Per-bit prediction; `None` means the attack left the bit
+    /// unresolved.
+    pub predicted: Vec<Option<bool>>,
+    /// Key-recovery accuracy: correctly predicted bits / key size
+    /// (unresolved bits count as incorrect, matching the paper's metric).
+    pub accuracy: f64,
+}
+
+impl AttackOutcome {
+    /// Scores predictions against the true key bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn score(attack: impl Into<String>, predicted: Vec<Option<bool>>, truth: &[bool]) -> Self {
+        assert_eq!(predicted.len(), truth.len(), "prediction length mismatch");
+        let correct = predicted
+            .iter()
+            .zip(truth)
+            .filter(|(p, t)| p.as_ref() == Some(t))
+            .count();
+        let accuracy = if truth.is_empty() {
+            0.0
+        } else {
+            correct as f64 / truth.len() as f64
+        };
+        AttackOutcome {
+            attack: attack.into(),
+            predicted,
+            accuracy,
+        }
+    }
+
+    /// Number of unresolved bits.
+    pub fn num_unresolved(&self) -> usize {
+        self.predicted.iter().filter(|p| p.is_none()).count()
+    }
+}
+
+/// An oracle-less attack on logic locking.
+pub trait OracleLessAttack {
+    /// The attack's display name.
+    fn name(&self) -> &'static str;
+
+    /// Runs the attack and scores it against the ground truth in `target`.
+    fn attack(&self, target: &AttackTarget) -> AttackOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoring_counts_unresolved_as_incorrect() {
+        let truth = vec![true, false, true, true];
+        let pred = vec![Some(true), Some(true), None, Some(true)];
+        let out = AttackOutcome::score("test", pred, &truth);
+        assert_eq!(out.accuracy, 0.5);
+        assert_eq!(out.num_unresolved(), 1);
+    }
+
+    #[test]
+    fn empty_key_scores_zero() {
+        let out = AttackOutcome::score("test", vec![], &[]);
+        assert_eq!(out.accuracy, 0.0);
+    }
+}

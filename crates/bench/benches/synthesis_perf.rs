@@ -1,0 +1,36 @@
+//! Criterion performance benchmarks of the synthesis substrate itself:
+//! per-pass throughput and full `resyn2` on the paper's circuits. These
+//! are not a paper table — they document the cost model behind the SA
+//! search budgets.
+
+use almost_aig::{Pass, Script};
+use almost_circuits::IscasBenchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_passes(c: &mut Criterion) {
+    let aig = IscasBenchmark::C1355.build();
+    let mut group = c.benchmark_group("passes_c1355");
+    group.sample_size(10);
+    for pass in Pass::ALL {
+        group.bench_function(pass.command().replace(' ', "_"), |b| {
+            b.iter(|| black_box(pass.apply(black_box(&aig))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_resyn2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resyn2");
+    group.sample_size(10);
+    for bench in [IscasBenchmark::C432, IscasBenchmark::C1355] {
+        let aig = bench.build();
+        group.bench_function(bench.name(), |b| {
+            b.iter(|| black_box(Script::resyn2().apply(black_box(&aig))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_passes, bench_resyn2);
+criterion_main!(benches);

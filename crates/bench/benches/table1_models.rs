@@ -1,0 +1,94 @@
+//! Table I: predicted attack accuracy (%) of the three proxy models —
+//! M_resyn2, M_random, M\* — when attacking the resyn2-synthesised locked
+//! circuit vs. the random-recipe set.
+//!
+//! Paper shape to reproduce: M_resyn2 is strong on `resyn2` but drops
+//! several points on the random set; M_random is flatter but noisy; M\*
+//! is the most consistent and the strongest on the random set.
+
+use almost_bench::{banner, experiment_benchmarks, lock_benchmark, pct, write_csv};
+use almost_core::{accuracy_on_random_set, train_proxy, ProxyKind, Recipe, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Table I: proxy-model accuracy (resyn2 vs random set)", scale);
+    println!(
+        "{:<8} {:>4} {:<10} {:>8} {:>8}",
+        "bench", "key", "model", "resyn2", "random"
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut gap_resyn2 = Vec::new();
+    let mut gap_adv = Vec::new();
+    let mut random_set_adv = Vec::new();
+    let mut random_set_resyn2 = Vec::new();
+
+    for &key_size in scale.key_sizes() {
+        for bench in experiment_benchmarks(scale, false) {
+            let locked = lock_benchmark(bench, key_size);
+            let deployed_resyn2 = Recipe::resyn2().apply(&locked.aig);
+            for (i, kind) in [ProxyKind::Resyn2, ProxyKind::Random, ProxyKind::Adversarial]
+                .into_iter()
+                .enumerate()
+            {
+                let cfg = scale.proxy_config(0x71 + i as u64);
+                let model = train_proxy(&locked, kind, &cfg);
+                let acc_resyn2 = model.predict_accuracy(&locked, &deployed_resyn2);
+                let acc_random = accuracy_on_random_set(
+                    &model,
+                    &locked,
+                    scale.random_set_size(),
+                    0xbeef + i as u64,
+                );
+                println!(
+                    "{:<8} {:>4} {:<10} {:>8} {:>8}",
+                    bench.name(),
+                    key_size,
+                    kind.label(),
+                    pct(acc_resyn2),
+                    pct(acc_random)
+                );
+                rows.push(vec![
+                    bench.name().into(),
+                    key_size.to_string(),
+                    kind.label().into(),
+                    pct(acc_resyn2),
+                    pct(acc_random),
+                ]);
+                match kind {
+                    ProxyKind::Resyn2 => {
+                        gap_resyn2.push(acc_resyn2 - acc_random);
+                        random_set_resyn2.push(acc_random);
+                    }
+                    ProxyKind::Adversarial => {
+                        gap_adv.push((acc_resyn2 - acc_random).abs());
+                        random_set_adv.push(acc_random);
+                    }
+                    ProxyKind::Random => {}
+                }
+            }
+        }
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!();
+    println!(
+        "M_resyn2 mean (resyn2 - random-set) gap: {:+.2}%  (paper: avg +4.8%)",
+        mean(&gap_resyn2) * 100.0
+    );
+    println!(
+        "M* mean |resyn2 - random-set| gap:       {:.2}%  (paper: 0.18%-2.28%)",
+        mean(&gap_adv) * 100.0
+    );
+    println!(
+        "random-set accuracy, M* vs M_resyn2:     {:.2}% vs {:.2}%  (paper: M* higher)",
+        mean(&random_set_adv) * 100.0,
+        mean(&random_set_resyn2) * 100.0
+    );
+
+    write_csv(
+        "table1_models.csv",
+        "bench,key_size,model,acc_resyn2_pct,acc_random_pct",
+        &rows,
+    );
+}

@@ -1,0 +1,80 @@
+//! Table III: power/performance/area overhead (%) of ALMOST-synthesised
+//! circuits vs. the locked baseline, under no optimisation (`-opt`) and
+//! extreme optimisation (`+opt`).
+//!
+//! Paper shape to reproduce: area within ~±3%, power within ~±5%, delay
+//! mostly small with occasional outliers (c2670 +18%, c7552 −15%).
+
+use almost_bench::{banner, experiment_benchmarks, lock_benchmark, write_csv};
+use almost_core::{generate_secure_recipe, train_proxy, ProxyKind, Recipe, Scale};
+use almost_netlist::{analyze, map_aig, CellLibrary, MapConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Table III: PPA overhead of ALMOST vs locked baseline", scale);
+    let lib = CellLibrary::nangate45();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut area_ovh = Vec::new();
+    let mut power_ovh = Vec::new();
+
+    println!(
+        "{:<8} {:>4} {:<5} {:>9} {:>9} {:>9}",
+        "bench", "key", "opt", "area%", "delay%", "power%"
+    );
+    for &key_size in scale.key_sizes() {
+        for bench in experiment_benchmarks(scale, false) {
+            let locked = lock_benchmark(bench, key_size);
+            let proxy = train_proxy(
+                &locked,
+                ProxyKind::Adversarial,
+                &scale.proxy_config(0x9A3),
+            );
+            let search = generate_secure_recipe(&locked, &proxy, &scale.sa_config(0x9A3));
+            // Baseline: the locked netlist as the paper uses it (resyn2-
+            // synthesised locked design).
+            let base_aig = Recipe::resyn2().apply(&locked.aig);
+            let almost_aig = search.recipe.apply(&locked.aig);
+            for (label, cfg) in [("-opt", MapConfig::no_opt()), ("+opt", MapConfig::extreme_opt())]
+            {
+                let base_nl = map_aig(&base_aig, &lib, &cfg);
+                let base = analyze(&base_nl, &base_aig, &lib, 8, 3);
+                let alm_nl = map_aig(&almost_aig, &lib, &cfg);
+                let alm = analyze(&alm_nl, &almost_aig, &lib, 8, 3);
+                let (a, d, p) = alm.overhead_vs(&base);
+                println!(
+                    "{:<8} {:>4} {:<5} {:>+9.2} {:>+9.2} {:>+9.2}",
+                    bench.name(),
+                    key_size,
+                    label,
+                    a,
+                    d,
+                    p
+                );
+                rows.push(vec![
+                    bench.name().into(),
+                    key_size.to_string(),
+                    label.into(),
+                    format!("{a:.2}"),
+                    format!("{d:.2}"),
+                    format!("{p:.2}"),
+                ]);
+                area_ovh.push(a);
+                power_ovh.push(p);
+            }
+        }
+    }
+
+    let mean_abs = |v: &[f64]| v.iter().map(|x| x.abs()).sum::<f64>() / v.len().max(1) as f64;
+    println!();
+    println!(
+        "mean |area overhead| {:.2}% (paper ~±3%), mean |power overhead| {:.2}% (paper ~±5%)",
+        mean_abs(&area_ovh),
+        mean_abs(&power_ovh)
+    );
+
+    write_csv(
+        "table3_ppa.csv",
+        "bench,key_size,opt,area_overhead_pct,delay_overhead_pct,power_overhead_pct",
+        &rows,
+    );
+}

@@ -1,0 +1,389 @@
+//! Reusable combinational building blocks (adders, comparators, parity
+//! trees, multipliers, encoders, shifters) used to assemble the
+//! ISCAS85-profile benchmarks.
+
+use almost_aig::{Aig, Lit};
+
+/// A full adder; returns `(sum, carry_out)`.
+pub fn full_adder(aig: &mut Aig, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+    let axb = aig.xor(a, b);
+    let sum = aig.xor(axb, cin);
+    let c1 = aig.and(a, b);
+    let c2 = aig.and(axb, cin);
+    let cout = aig.or(c1, c2);
+    (sum, cout)
+}
+
+/// Ripple-carry adder; returns the per-bit sums and the final carry.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+pub fn ripple_adder(aig: &mut Aig, a: &[Lit], b: &[Lit], cin: Lit) -> (Vec<Lit>, Lit) {
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+    let mut carry = cin;
+    let mut sums = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let (s, c) = full_adder(aig, x, y, carry);
+        sums.push(s);
+        carry = c;
+    }
+    (sums, carry)
+}
+
+/// Two's-complement subtractor `a - b`; returns per-bit differences and the
+/// final borrow-free carry.
+pub fn subtractor(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Lit) {
+    let nb: Vec<Lit> = b.iter().map(|&l| !l).collect();
+    ripple_adder(aig, a, &nb, Lit::TRUE)
+}
+
+/// Magnitude comparator; returns `(a_less, a_equal, a_greater)`.
+pub fn comparator(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> (Lit, Lit, Lit) {
+    assert_eq!(a.len(), b.len());
+    let mut less = Lit::FALSE;
+    let mut greater = Lit::FALSE;
+    let mut equal_so_far = Lit::TRUE;
+    // From MSB to LSB.
+    for (&x, &y) in a.iter().zip(b).rev() {
+        let x_gt = aig.and(x, !y);
+        let x_lt = aig.and(!x, y);
+        let g_here = aig.and(equal_so_far, x_gt);
+        let l_here = aig.and(equal_so_far, x_lt);
+        greater = aig.or(greater, g_here);
+        less = aig.or(less, l_here);
+        let eq_bit = aig.xnor(x, y);
+        equal_so_far = aig.and(equal_so_far, eq_bit);
+    }
+    (less, equal_so_far, greater)
+}
+
+/// Balanced XOR parity tree.
+pub fn parity_tree(aig: &mut Aig, bits: &[Lit]) -> Lit {
+    aig.xor_many(bits)
+}
+
+/// `width`-bit 2:1 multiplexer bank.
+pub fn mux_bank(aig: &mut Aig, sel: Lit, then_bits: &[Lit], else_bits: &[Lit]) -> Vec<Lit> {
+    assert_eq!(then_bits.len(), else_bits.len());
+    then_bits
+        .iter()
+        .zip(else_bits)
+        .map(|(&t, &e)| aig.mux(sel, t, e))
+        .collect()
+}
+
+/// Priority encoder over `requests` (LSB has highest priority); returns the
+/// one-hot grant vector and a "any request" flag.
+pub fn priority_encoder(aig: &mut Aig, requests: &[Lit]) -> (Vec<Lit>, Lit) {
+    let mut blocked = Lit::FALSE; // some higher-priority request fired
+    let mut grants = Vec::with_capacity(requests.len());
+    for &r in requests {
+        let g = aig.and(r, !blocked);
+        grants.push(g);
+        blocked = aig.or(blocked, r);
+    }
+    (grants, blocked)
+}
+
+/// `n`-to-`2^n` decoder.
+pub fn decoder(aig: &mut Aig, sel: &[Lit]) -> Vec<Lit> {
+    let mut outs = vec![Lit::TRUE];
+    for &s in sel {
+        let mut next = Vec::with_capacity(outs.len() * 2);
+        for &o in &outs {
+            next.push(aig.and(o, !s));
+        }
+        for &o in &outs {
+            next.push(aig.and(o, s));
+        }
+        outs = next;
+    }
+    outs
+}
+
+/// Array multiplier (the c6288 structure): `a.len() × b.len()` partial
+/// products reduced by ripple-carry rows. Returns `a.len() + b.len()`
+/// product bits.
+pub fn array_multiplier(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 || m == 0 {
+        return Vec::new();
+    }
+    // Row 0: partial products of b[0]; entry `n` is the row's carry-out.
+    let mut row: Vec<Lit> = a.iter().map(|&x| aig.and(x, b[0])).collect();
+    row.push(Lit::FALSE);
+    let mut product = vec![row[0]];
+    for &bj in b.iter().skip(1) {
+        let pp: Vec<Lit> = a.iter().map(|&x| aig.and(x, bj)).collect();
+        // next = (row >> 1) + pp, rippling the carry across the row.
+        let mut next = Vec::with_capacity(n + 1);
+        let mut carry = Lit::FALSE;
+        for i in 0..n {
+            let (s, c) = full_adder(aig, row[i + 1], pp[i], carry);
+            next.push(s);
+            carry = c;
+        }
+        next.push(carry);
+        product.push(next[0]);
+        row = next;
+    }
+    product.extend_from_slice(&row[1..]);
+    debug_assert_eq!(product.len(), n + m);
+    product
+}
+
+/// Logical barrel shifter (left) of `value` by `shift` (binary), filling
+/// with zeros.
+pub fn barrel_shifter(aig: &mut Aig, value: &[Lit], shift: &[Lit]) -> Vec<Lit> {
+    let mut current: Vec<Lit> = value.to_vec();
+    for (k, &s) in shift.iter().enumerate() {
+        let amount = 1usize << k;
+        let shifted: Vec<Lit> = (0..current.len())
+            .map(|i| {
+                if i >= amount {
+                    current[i - amount]
+                } else {
+                    Lit::FALSE
+                }
+            })
+            .collect();
+        current = mux_bank(aig, s, &shifted, &current);
+    }
+    current
+}
+
+/// A one-digit BCD adder stage (used by the c3540-style ALU): adds two
+/// 4-bit BCD digits plus carry, returns (4-bit digit, carry).
+pub fn bcd_adder_digit(aig: &mut Aig, a: &[Lit], b: &[Lit], cin: Lit) -> (Vec<Lit>, Lit) {
+    assert_eq!(a.len(), 4);
+    assert_eq!(b.len(), 4);
+    let (raw, c4) = ripple_adder(aig, a, b, cin);
+    // Correction needed if raw > 9: c4 | (raw3 & (raw2 | raw1)).
+    let r21 = aig.or(raw[2], raw[1]);
+    let gt9 = aig.and(raw[3], r21);
+    let adjust = aig.or(c4, gt9);
+    // Add 6 (0110) when adjusting.
+    let six = [Lit::FALSE, adjust, adjust, Lit::FALSE];
+    let (corrected, _) = ripple_adder(aig, &raw, &six, Lit::FALSE);
+    (corrected, adjust)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_bits(aig: &mut Aig, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| aig.add_input()).collect()
+    }
+
+    fn num(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | (b as u64) << i)
+    }
+
+    #[test]
+    fn adder_computes_sums() {
+        let mut aig = Aig::new();
+        let a = to_bits(&mut aig, 4);
+        let b = to_bits(&mut aig, 4);
+        let (sums, carry) = ripple_adder(&mut aig, &a, &b, Lit::FALSE);
+        for s in sums {
+            aig.add_output(s);
+        }
+        aig.add_output(carry);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut ins = Vec::new();
+                for i in 0..4 {
+                    ins.push(x >> i & 1 != 0);
+                }
+                for i in 0..4 {
+                    ins.push(y >> i & 1 != 0);
+                }
+                let out = aig.eval(&ins);
+                let got = num(&out);
+                assert_eq!(got, x + y, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtractor_computes_differences() {
+        let mut aig = Aig::new();
+        let a = to_bits(&mut aig, 4);
+        let b = to_bits(&mut aig, 4);
+        let (diff, _) = subtractor(&mut aig, &a, &b);
+        for d in diff {
+            aig.add_output(d);
+        }
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut ins = Vec::new();
+                for i in 0..4 {
+                    ins.push(x >> i & 1 != 0);
+                }
+                for i in 0..4 {
+                    ins.push(y >> i & 1 != 0);
+                }
+                let out = aig.eval(&ins);
+                assert_eq!(num(&out), (x.wrapping_sub(y)) & 0xF, "{x}-{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_is_correct() {
+        let mut aig = Aig::new();
+        let a = to_bits(&mut aig, 3);
+        let b = to_bits(&mut aig, 3);
+        let (l, e, g) = comparator(&mut aig, &a, &b);
+        aig.add_output(l);
+        aig.add_output(e);
+        aig.add_output(g);
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let mut ins = Vec::new();
+                for i in 0..3 {
+                    ins.push(x >> i & 1 != 0);
+                }
+                for i in 0..3 {
+                    ins.push(y >> i & 1 != 0);
+                }
+                let out = aig.eval(&ins);
+                assert_eq!(out, vec![x < y, x == y, x > y], "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_is_correct() {
+        let mut aig = Aig::new();
+        let a = to_bits(&mut aig, 4);
+        let b = to_bits(&mut aig, 4);
+        let product = array_multiplier(&mut aig, &a, &b);
+        assert_eq!(product.len(), 8);
+        for p in product {
+            aig.add_output(p);
+        }
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut ins = Vec::new();
+                for i in 0..4 {
+                    ins.push(x >> i & 1 != 0);
+                }
+                for i in 0..4 {
+                    ins.push(y >> i & 1 != 0);
+                }
+                let out = aig.eval(&ins);
+                assert_eq!(num(&out), x * y, "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn priority_encoder_grants_one() {
+        let mut aig = Aig::new();
+        let reqs = to_bits(&mut aig, 4);
+        let (grants, any) = priority_encoder(&mut aig, &reqs);
+        for g in grants {
+            aig.add_output(g);
+        }
+        aig.add_output(any);
+        for r in 0..16u64 {
+            let ins: Vec<bool> = (0..4).map(|i| r >> i & 1 != 0).collect();
+            let out = aig.eval(&ins);
+            let first = (0..4).find(|&i| ins[i]);
+            for i in 0..4 {
+                assert_eq!(out[i], Some(i) == first, "r={r} i={i}");
+            }
+            assert_eq!(out[4], r != 0);
+        }
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let mut aig = Aig::new();
+        let sel = to_bits(&mut aig, 3);
+        let outs = decoder(&mut aig, &sel);
+        assert_eq!(outs.len(), 8);
+        for o in outs {
+            aig.add_output(o);
+        }
+        for s in 0..8usize {
+            let ins: Vec<bool> = (0..3).map(|i| s >> i & 1 != 0).collect();
+            let out = aig.eval(&ins);
+            for (i, &bit) in out.iter().enumerate() {
+                assert_eq!(bit, i == s);
+            }
+        }
+    }
+
+    #[test]
+    fn barrel_shifter_shifts() {
+        let mut aig = Aig::new();
+        let value = to_bits(&mut aig, 8);
+        let shift = to_bits(&mut aig, 3);
+        let out = barrel_shifter(&mut aig, &value, &shift);
+        for o in out {
+            aig.add_output(o);
+        }
+        for v in [0x01u64, 0x81, 0x5A] {
+            for s in 0..8u64 {
+                let mut ins = Vec::new();
+                for i in 0..8 {
+                    ins.push(v >> i & 1 != 0);
+                }
+                for i in 0..3 {
+                    ins.push(s >> i & 1 != 0);
+                }
+                let got = num(&aig.eval(&ins));
+                assert_eq!(got, (v << s) & 0xFF, "v={v:02x} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn bcd_digit_adder() {
+        let mut aig = Aig::new();
+        let a = to_bits(&mut aig, 4);
+        let b = to_bits(&mut aig, 4);
+        let (digit, carry) = bcd_adder_digit(&mut aig, &a, &b, Lit::FALSE);
+        for d in digit {
+            aig.add_output(d);
+        }
+        aig.add_output(carry);
+        for x in 0..10u64 {
+            for y in 0..10u64 {
+                let mut ins = Vec::new();
+                for i in 0..4 {
+                    ins.push(x >> i & 1 != 0);
+                }
+                for i in 0..4 {
+                    ins.push(y >> i & 1 != 0);
+                }
+                let out = aig.eval(&ins);
+                let digit_val = num(&out[..4]);
+                let carry_val = out[4] as u64;
+                assert_eq!(carry_val * 10 + digit_val, x + y, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_tree_matches_xor() {
+        let mut aig = Aig::new();
+        let bits = to_bits(&mut aig, 9);
+        let p = parity_tree(&mut aig, &bits);
+        aig.add_output(p);
+        for trial in [0u64, 1, 0b101, 0x1FF, 0b110110110] {
+            let ins: Vec<bool> = (0..9).map(|i| trial >> i & 1 != 0).collect();
+            assert_eq!(
+                aig.eval(&ins)[0],
+                ins.iter().filter(|&&b| b).count() % 2 == 1
+            );
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Locking keys.
+
+use rand::RngExt;
+use std::fmt;
+
+/// A locking key: an ordered vector of key bits.
+///
+/// # Example
+///
+/// ```
+/// use almost_locking::Key;
+/// let k = Key::from_bits(vec![true, false, true, true]);
+/// assert_eq!(k.len(), 4);
+/// assert_eq!(k.to_hex(), "d");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Key {
+    bits: Vec<bool>,
+}
+
+impl Key {
+    /// Builds a key from explicit bits.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        Key { bits }
+    }
+
+    /// Samples a uniformly random key of `len` bits.
+    pub fn random(len: usize, rng: &mut (impl RngExt + ?Sized)) -> Self {
+        Key {
+            bits: (0..len).map(|_| rng.random_bool(0.5)).collect(),
+        }
+    }
+
+    /// The key bits (bit `i` belongs to key input `i`).
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Key size in bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True for a zero-length key.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Fraction of positions where `other` agrees with this key — the
+    /// "attack accuracy" metric of the paper when `other` is a guess.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn agreement(&self, other: &Key) -> f64 {
+        assert_eq!(self.len(), other.len(), "key sizes differ");
+        if self.is_empty() {
+            return 1.0;
+        }
+        let same = self
+            .bits
+            .iter()
+            .zip(&other.bits)
+            .filter(|(a, b)| a == b)
+            .count();
+        same as f64 / self.len() as f64
+    }
+
+    /// Hex encoding, LSB-first nibbles (bit 0 is the LSB of the first
+    /// nibble).
+    pub fn to_hex(&self) -> String {
+        let mut s = String::new();
+        for chunk in self.bits.chunks(4) {
+            let mut v = 0u8;
+            for (i, &b) in chunk.iter().enumerate() {
+                v |= (b as u8) << i;
+            }
+            s.push(char::from_digit(v as u32, 16).expect("nibble"));
+        }
+        s
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({} bits, 0x{})", self.len(), self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn agreement_is_symmetric_and_bounded() {
+        let a = Key::from_bits(vec![true, true, false, false]);
+        let b = Key::from_bits(vec![true, false, false, true]);
+        assert_eq!(a.agreement(&b), 0.5);
+        assert_eq!(b.agreement(&a), 0.5);
+        assert_eq!(a.agreement(&a), 1.0);
+    }
+
+    #[test]
+    fn random_keys_are_deterministic_per_seed() {
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        assert_eq!(Key::random(64, &mut r1), Key::random(64, &mut r2));
+    }
+
+    #[test]
+    fn random_keys_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let k = Key::random(1024, &mut rng);
+        let ones = k.bits().iter().filter(|&&b| b).count();
+        assert!(ones > 400 && ones < 624, "ones = {ones}");
+    }
+
+    #[test]
+    fn hex_roundtrip_examples() {
+        let k = Key::from_bits(vec![false, true, false, true, true]);
+        // First nibble: 1010 (LSB first) = 0xa; second: 1.
+        assert_eq!(k.to_hex(), "a1");
+    }
+}

@@ -1,0 +1,43 @@
+//! Logic locking schemes and key management.
+//!
+//! The ALMOST paper deliberately uses the *weakest* scheme — random logic
+//! locking ([`Rll`], XOR/XNOR key gates with bubble pushing [EPIC, DATE'08])
+//! — and shows that security-aware synthesis alone makes it ML-resilient.
+//! This crate implements:
+//!
+//! - [`Rll`]: random XOR/XNOR key-gate insertion. Key bit 0 binds to an XOR
+//!   key gate, key bit 1 to an XNOR, and bubble pushing (complement
+//!   absorption in the AIG) obfuscates the binding exactly as in the paper.
+//! - [`MuxLock`]: MUX-based locking (extension; the paper notes ALMOST
+//!   "applies to other locking techniques").
+//! - [`relock`]: the re-locking step of self-referencing attacks (insert
+//!   additional key gates with *known* bits to manufacture training data).
+//! - [`apply_key`]: specialise a locked circuit under a key (the oracle
+//!   check used to validate locking correctness).
+//!
+//! # Example
+//!
+//! ```
+//! use almost_circuits::IscasBenchmark;
+//! use almost_locking::{LockingScheme, Rll, apply_key};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let aig = IscasBenchmark::C1355.build();
+//! let locked = Rll::new(32).lock(&aig, &mut rng).expect("enough gates");
+//! let unlocked = apply_key(&locked.aig, locked.key_input_start, locked.key.bits());
+//! assert!(almost_aig::sim::probably_equivalent(&aig, &unlocked, 16, 7));
+//! ```
+
+pub mod key;
+pub mod mux_lock;
+pub mod rll;
+pub mod scheme;
+pub mod specialize;
+
+pub use key::Key;
+pub use mux_lock::MuxLock;
+pub use rll::Rll;
+pub use scheme::{relock, LockError, LockedCircuit, LockingScheme};
+pub use specialize::apply_key;

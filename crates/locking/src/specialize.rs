@@ -1,0 +1,99 @@
+//! Key specialisation: substitute constants for key inputs.
+
+use almost_aig::{Aig, Lit, NodeKind};
+
+/// Returns a copy of `locked` with the key inputs (input positions
+/// `key_input_start ..` onward, `key.len()` of them) replaced by the given
+/// constants. The key inputs are removed from the interface; constant
+/// propagation happens for free through AIG construction rules.
+///
+/// This is the "oracle with the correct key" used to validate locking, and
+/// the constant-propagation step of the SCOPE attack.
+///
+/// # Panics
+///
+/// Panics if the key range exceeds the circuit's inputs.
+pub fn apply_key(locked: &Aig, key_input_start: usize, key: &[bool]) -> Aig {
+    assert!(
+        key_input_start + key.len() <= locked.num_inputs(),
+        "key range out of bounds"
+    );
+    let mut new = Aig::new();
+    let mut map: Vec<Lit> = vec![Lit::FALSE; locked.num_nodes()];
+    for i in 0..locked.num_inputs() {
+        let var = locked.inputs()[i];
+        if i >= key_input_start && i < key_input_start + key.len() {
+            map[var as usize] = if key[i - key_input_start] {
+                Lit::TRUE
+            } else {
+                Lit::FALSE
+            };
+        } else {
+            map[var as usize] = new.add_named_input(locked.input_name(i).to_string());
+        }
+    }
+    for v in locked.iter_vars() {
+        if let NodeKind::And(a, b) = locked.node(v) {
+            let fa = map[a.var() as usize].xor_complement(a.is_complement());
+            let fb = map[b.var() as usize].xor_complement(b.is_complement());
+            map[v as usize] = new.and(fa, fb);
+        }
+    }
+    for (i, out) in locked.outputs().iter().enumerate() {
+        let lit = map[out.var() as usize].xor_complement(out.is_complement());
+        new.add_named_output(lit, locked.output_name(i).to_string());
+    }
+    new.compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitutes_constants() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let k = aig.add_named_input("keyinput0");
+        let f = aig.xor(a, k);
+        aig.add_output(f);
+        // k = 0: f == a.
+        let zero = apply_key(&aig, 1, &[false]);
+        assert_eq!(zero.num_inputs(), 1);
+        assert_eq!(zero.eval(&[true]), vec![true]);
+        assert_eq!(zero.eval(&[false]), vec![false]);
+        // k = 1: f == !a.
+        let one = apply_key(&aig, 1, &[true]);
+        assert_eq!(one.eval(&[true]), vec![false]);
+        assert_eq!(one.eval(&[false]), vec![true]);
+    }
+
+    #[test]
+    fn partial_key_application() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let k0 = aig.add_named_input("keyinput0");
+        let k1 = aig.add_named_input("keyinput1");
+        let t = aig.xor(a, k0);
+        let f = aig.xor(t, k1);
+        aig.add_output(f);
+        // Apply only k0 (position 1, length 1): k1 remains an input.
+        let part = apply_key(&aig, 1, &[false]);
+        assert_eq!(part.num_inputs(), 2);
+        assert_eq!(part.eval(&[true, false]), vec![true]);
+        assert_eq!(part.eval(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn constant_propagation_shrinks_circuit() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let k = aig.add_named_input("keyinput0");
+        // Redundant logic killed by k=0: f = a & k.
+        let f = aig.and(a, k);
+        aig.add_output(f);
+        let zero = apply_key(&aig, 1, &[false]);
+        assert_eq!(zero.num_ands(), 0, "a & 0 folds to constant 0");
+        assert_eq!(zero.eval(&[true]), vec![false]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Graph isomorphism network (GIN) layers and the subgraph classifier used
+//! by the OMLA-style attack.
+//!
+//! OMLA represents the locality around each key-gate as an enclosing
+//! subgraph with node features, and classifies the subgraph to predict the
+//! key bit. The model here follows that recipe: K rounds of GIN message
+//! passing (`H' = MLP(Â H)`, `Â = A + I`), mean-pool readout, and a small
+//! MLP head producing a single logit.
+
+use crate::nn::{BoundLinear, Linear};
+use crate::tape::{sigmoid, NodeId, Tape};
+use crate::tensor::Matrix;
+
+/// One input graph: a symmetric adjacency (with self-loops folded in) plus
+/// node features and a binary label.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// `Â = A + I`, n × n.
+    pub adj_hat: Matrix,
+    /// Node features, n × d.
+    pub features: Matrix,
+    /// The key bit (training target).
+    pub label: bool,
+}
+
+impl Graph {
+    /// Builds a graph from an undirected edge list, folding in self-loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node outside `features`' rows.
+    pub fn from_edges(num_nodes: usize, edges: &[(usize, usize)], features: Matrix, label: bool) -> Self {
+        assert_eq!(features.rows(), num_nodes);
+        let mut adj = Matrix::identity(num_nodes);
+        for &(u, v) in edges {
+            assert!(u < num_nodes && v < num_nodes, "edge out of range");
+            adj.set(u, v, 1.0);
+            adj.set(v, u, 1.0);
+        }
+        Graph {
+            adj_hat: adj,
+            features,
+            label,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.features.rows()
+    }
+}
+
+/// The OMLA-style GIN subgraph classifier.
+#[derive(Clone, Debug)]
+pub struct GinClassifier {
+    convs: Vec<(Linear, Linear)>,
+    readout: Linear,
+    head: Linear,
+    input_dim: usize,
+}
+
+/// Tape bindings of all model parameters, in [`GinClassifier::parameters`]
+/// order.
+#[derive(Clone, Debug)]
+pub struct BoundModel {
+    convs: Vec<(BoundLinear, BoundLinear)>,
+    readout: BoundLinear,
+    head: BoundLinear,
+}
+
+impl BoundModel {
+    /// Parameter node ids, in [`GinClassifier::parameters`] order.
+    pub fn param_nodes(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for (l1, l2) in &self.convs {
+            out.extend([l1.w, l1.b, l2.w, l2.b]);
+        }
+        out.extend([self.readout.w, self.readout.b, self.head.w, self.head.b]);
+        out
+    }
+}
+
+impl GinClassifier {
+    /// A classifier with `num_layers` GIN rounds of width `hidden` over
+    /// `input_dim`-dimensional node features.
+    pub fn new(input_dim: usize, hidden: usize, num_layers: usize, seed: u64) -> Self {
+        let mut convs = Vec::with_capacity(num_layers);
+        for k in 0..num_layers {
+            let d_in = if k == 0 { input_dim } else { hidden };
+            convs.push((
+                Linear::new(d_in, hidden, seed.wrapping_add(2 * k as u64 + 1)),
+                Linear::new(hidden, hidden, seed.wrapping_add(2 * k as u64 + 2)),
+            ));
+        }
+        GinClassifier {
+            convs,
+            readout: Linear::new(hidden, hidden, seed.wrapping_add(101)),
+            head: Linear::new(hidden, 1, seed.wrapping_add(102)),
+            input_dim,
+        }
+    }
+
+    /// The expected feature dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// All trainable parameter matrices (stable order).
+    pub fn parameters(&self) -> Vec<&Matrix> {
+        let mut out = Vec::new();
+        for (l1, l2) in &self.convs {
+            out.extend([&l1.w, &l1.b, &l2.w, &l2.b]);
+        }
+        out.extend([&self.readout.w, &self.readout.b, &self.head.w, &self.head.b]);
+        out
+    }
+
+    /// Mutable access to the parameters (same order as
+    /// [`GinClassifier::parameters`]).
+    pub fn parameters_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut out: Vec<&mut Matrix> = Vec::new();
+        for (l1, l2) in &mut self.convs {
+            out.push(&mut l1.w);
+            out.push(&mut l1.b);
+            out.push(&mut l2.w);
+            out.push(&mut l2.b);
+        }
+        out.push(&mut self.readout.w);
+        out.push(&mut self.readout.b);
+        out.push(&mut self.head.w);
+        out.push(&mut self.head.b);
+        out
+    }
+
+    /// Inserts all parameters onto a tape.
+    pub fn bind(&self, tape: &mut Tape) -> BoundModel {
+        BoundModel {
+            convs: self
+                .convs
+                .iter()
+                .map(|(l1, l2)| (l1.bind(tape), l2.bind(tape)))
+                .collect(),
+            readout: self.readout.bind(tape),
+            head: self.head.bind(tape),
+        }
+    }
+
+    /// Forward pass producing the logit node for one graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph's feature width differs from
+    /// [`GinClassifier::input_dim`].
+    pub fn forward(&self, tape: &mut Tape, bound: &BoundModel, graph: &Graph) -> NodeId {
+        assert_eq!(graph.features.cols(), self.input_dim, "feature width");
+        let adj = tape.leaf(graph.adj_hat.clone());
+        let mut h = tape.leaf(graph.features.clone());
+        for (b1, b2) in &bound.convs {
+            let agg = tape.matmul(adj, h);
+            let z1 = Linear::forward(*b1, tape, agg);
+            let a1 = tape.relu(z1);
+            let z2 = Linear::forward(*b2, tape, a1);
+            h = tape.relu(z2);
+        }
+        let pooled = tape.mean_rows(h);
+        let r = Linear::forward(bound.readout, tape, pooled);
+        let r = tape.relu(r);
+        Linear::forward(bound.head, tape, r)
+    }
+
+    /// Predicted probability that the key bit is 1.
+    pub fn predict(&self, graph: &Graph) -> f32 {
+        let mut tape = Tape::new();
+        let bound = self.bind(&mut tape);
+        let logit = self.forward(&mut tape, &bound, graph);
+        sigmoid(tape.value(logit).get(0, 0))
+    }
+
+    /// Classification accuracy over a labelled set (threshold 0.5).
+    pub fn accuracy(&self, graphs: &[Graph]) -> f64 {
+        if graphs.is_empty() {
+            return 0.0;
+        }
+        let correct = graphs
+            .iter()
+            .filter(|g| (self.predict(g) >= 0.5) == g.label)
+            .count();
+        correct as f64 / graphs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_graph(label: bool, bias: f32) -> Graph {
+        // Two nodes, one edge; features separated by `bias`.
+        let features = Matrix::from_rows(&[&[bias, 1.0], &[bias, 0.0]]);
+        Graph::from_edges(2, &[(0, 1)], features, label)
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let model = GinClassifier::new(2, 8, 2, 42);
+        let g = toy_graph(true, 0.5);
+        assert_eq!(model.predict(&g), model.predict(&g));
+    }
+
+    #[test]
+    fn parameter_count_is_consistent() {
+        let model = GinClassifier::new(3, 16, 2, 1);
+        let n = model.parameters().len();
+        assert_eq!(n, 2 * 4 + 4);
+        let mut m = model.clone();
+        assert_eq!(m.parameters_mut().len(), n);
+        let mut tape = Tape::new();
+        assert_eq!(model.bind(&mut tape).param_nodes().len(), n);
+    }
+
+    #[test]
+    fn untrained_predictions_are_probabilities() {
+        let model = GinClassifier::new(2, 8, 2, 7);
+        for bias in [-2.0, 0.0, 2.0] {
+            let p = model.predict(&toy_graph(false, bias));
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn accuracy_on_empty_set_is_zero() {
+        let model = GinClassifier::new(2, 4, 1, 3);
+        assert_eq!(model.accuracy(&[]), 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! A minimal machine-learning substrate: dense tensors, reverse-mode
+//! autodiff, GIN graph layers, Adam and a training loop.
+//!
+//! The ALMOST paper's attacks (OMLA) and defence (the adversarially
+//! trained proxy model M\*) are GIN subgraph classifiers implemented in
+//! PyTorch; this crate replaces that dependency with a self-contained
+//! implementation:
+//!
+//! - [`tensor::Matrix`] — dense row-major `f32` matrices (He init included).
+//! - [`tape::Tape`] — reverse-mode autodiff over exactly the ops a GIN
+//!   classifier needs; every gradient is finite-difference checked in
+//!   tests.
+//! - [`gin::GinClassifier`] — GIN message passing + mean-pool readout +
+//!   MLP head, the OMLA model shape.
+//! - [`optim::Adam`], [`train::train`] — minibatch training with an
+//!   epoch hook (used by Algorithm 1's every-R-epochs adversarial
+//!   augmentation).
+//!
+//! # Example
+//!
+//! ```
+//! use almost_ml::gin::{Graph, GinClassifier};
+//! use almost_ml::tensor::Matrix;
+//!
+//! let model = GinClassifier::new(2, 8, 2, 42);
+//! let g = Graph::from_edges(2, &[(0, 1)], Matrix::zeros(2, 2), false);
+//! let p = model.predict(&g);
+//! assert!((0.0..=1.0).contains(&p));
+//! ```
+
+pub mod data;
+pub mod gin;
+pub mod nn;
+pub mod optim;
+pub mod tape;
+pub mod tensor;
+pub mod train;
+
+pub use gin::{Graph, GinClassifier};
+pub use optim::Adam;
+pub use tape::Tape;
+pub use tensor::Matrix;
+pub use train::{train, train_with_callback, TrainConfig, TrainStats};

@@ -1,0 +1,230 @@
+//! Minibatch training loop for the GIN classifier.
+
+use crate::gin::{Graph, GinClassifier};
+use crate::optim::Adam;
+use crate::tape::Tape;
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 50,
+            batch_size: 32,
+            learning_rate: 1e-2,
+            seed: 0,
+        }
+    }
+}
+
+/// Summary of one training run.
+#[derive(Clone, Debug)]
+pub struct TrainStats {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Final training-set accuracy.
+    pub final_accuracy: f64,
+}
+
+/// Trains `model` on `graphs` with minibatch Adam; returns per-epoch
+/// losses.
+///
+/// An empty dataset is a no-op (returns zeroed stats).
+pub fn train(model: &mut GinClassifier, graphs: &[Graph], config: &TrainConfig) -> TrainStats {
+    train_with_callback(model, graphs, config, |_, _| {})
+}
+
+/// Like [`train`], but invokes `on_epoch(epoch_index, mean_loss)` after
+/// every epoch — the hook Algorithm 1 uses to trigger adversarial
+/// augmentation every R epochs.
+pub fn train_with_callback(
+    model: &mut GinClassifier,
+    graphs: &[Graph],
+    config: &TrainConfig,
+    mut on_epoch: impl FnMut(usize, f32),
+) -> TrainStats {
+    if graphs.is_empty() {
+        return TrainStats {
+            epoch_losses: Vec::new(),
+            final_accuracy: 0.0,
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut adam = Adam::new(config.learning_rate);
+    let mut order: Vec<usize> = (0..graphs.len()).collect();
+    let mut epoch_losses = Vec::with_capacity(config.epochs);
+
+    for epoch in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(config.batch_size.max(1)) {
+            let mut tape = Tape::new();
+            let bound = model.bind(&mut tape);
+            let mut loss_nodes = Vec::with_capacity(chunk.len());
+            for &gi in chunk {
+                let g = &graphs[gi];
+                let logit = model.forward(&mut tape, &bound, g);
+                loss_nodes.push(tape.bce_with_logits(logit, g.label as u8 as f32));
+            }
+            let mut total = loss_nodes[0];
+            for &l in &loss_nodes[1..] {
+                total = tape.add(total, l);
+            }
+            let mean = tape.scale(total, 1.0 / chunk.len() as f32);
+            tape.backward(mean);
+            epoch_loss += tape.value(mean).get(0, 0);
+            batches += 1;
+
+            let param_nodes = bound.param_nodes();
+            let zero_shapes: Vec<Matrix> = model
+                .parameters()
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
+            let grads: Vec<Matrix> = param_nodes
+                .iter()
+                .zip(zero_shapes)
+                .map(|(&n, zero)| tape.grad(n).cloned().unwrap_or(zero))
+                .collect();
+            let grad_refs: Vec<&Matrix> = grads.iter().collect();
+            let mut params = model.parameters_mut();
+            adam.step(&mut params, &grad_refs);
+        }
+        let mean_loss = epoch_loss / batches.max(1) as f32;
+        epoch_losses.push(mean_loss);
+        on_epoch(epoch, mean_loss);
+    }
+
+    let final_accuracy = model.accuracy(graphs);
+    TrainStats {
+        epoch_losses,
+        final_accuracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    /// Builds a synthetic dataset where the label is linearly decodable
+    /// from a node feature.
+    fn separable_dataset(n: usize, seed: u64) -> Vec<Graph> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let label = rng.random_bool(0.5);
+                let signal = if label { 1.0 } else { -1.0 };
+                let noise: Vec<f32> = (0..3)
+                    .map(|_| (rng.random::<f32>() - 0.5) * 0.2)
+                    .collect();
+                let f = Matrix::from_rows(&[
+                    &[signal + noise[0], 1.0],
+                    &[signal + noise[1], 0.0],
+                    &[signal + noise[2], 0.5],
+                ]);
+                Graph::from_edges(3, &[(0, 1), (1, 2)], f, label)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_a_separable_problem() {
+        let data = separable_dataset(80, 5);
+        let mut model = GinClassifier::new(2, 8, 2, 13);
+        let before = model.accuracy(&data);
+        let stats = train(
+            &mut model,
+            &data,
+            &TrainConfig {
+                epochs: 40,
+                batch_size: 16,
+                learning_rate: 5e-3,
+                seed: 1,
+            },
+        );
+        assert!(
+            stats.final_accuracy > 0.95,
+            "expected near-perfect accuracy, got {} (before {before})",
+            stats.final_accuracy
+        );
+        let first = stats.epoch_losses.first().copied().expect("epochs ran");
+        let last = stats.epoch_losses.last().copied().expect("epochs ran");
+        assert!(last < first, "loss must decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn shuffled_labels_stay_near_chance() {
+        let mut data = separable_dataset(60, 6);
+        // Destroy the signal: random labels.
+        let mut rng = StdRng::seed_from_u64(77);
+        for g in &mut data {
+            g.label = rng.random_bool(0.5);
+        }
+        let mut model = GinClassifier::new(2, 8, 2, 17);
+        let stats = train(
+            &mut model,
+            &data,
+            &TrainConfig {
+                epochs: 8,
+                batch_size: 16,
+                learning_rate: 5e-3,
+                seed: 2,
+            },
+        );
+        // Training accuracy may exceed chance by memorisation, but a
+        // held-out set cannot: evaluate on fresh shuffled data.
+        let mut holdout = separable_dataset(60, 99);
+        for g in &mut holdout {
+            g.label = rng.random_bool(0.5);
+        }
+        let acc = model.accuracy(&holdout);
+        assert!(
+            (0.25..=0.75).contains(&acc),
+            "held-out accuracy {acc} should hover around 0.5"
+        );
+        let _ = stats;
+    }
+
+    #[test]
+    fn empty_dataset_is_noop() {
+        let mut model = GinClassifier::new(2, 4, 1, 3);
+        let stats = train(&mut model, &[], &TrainConfig::default());
+        assert!(stats.epoch_losses.is_empty());
+    }
+
+    #[test]
+    fn callback_fires_every_epoch() {
+        let data = separable_dataset(20, 8);
+        let mut model = GinClassifier::new(2, 4, 1, 3);
+        let mut calls = Vec::new();
+        train_with_callback(
+            &mut model,
+            &data,
+            &TrainConfig {
+                epochs: 5,
+                batch_size: 8,
+                learning_rate: 1e-2,
+                seed: 3,
+            },
+            |e, _| calls.push(e),
+        );
+        assert_eq!(calls, vec![0, 1, 2, 3, 4]);
+    }
+}

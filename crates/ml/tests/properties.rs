@@ -1,0 +1,78 @@
+//! Property-based tests for the ML substrate.
+
+use almost_ml::tape::{sigmoid, softplus, Tape};
+use almost_ml::tensor::Matrix;
+use proptest::prelude::*;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn matmul_distributes_over_addition(a in small_matrix(3, 4), b in small_matrix(4, 2), c in small_matrix(4, 2)) {
+        // a(b + c) == ab + ac (within f32 tolerance).
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(a in small_matrix(3, 4), b in small_matrix(4, 2)) {
+        // (ab)^T == b^T a^T.
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sigmoid_softplus_identities(z in -30.0f32..30.0) {
+        // softplus'(z) = sigmoid(z); sigmoid(-z) = 1 - sigmoid(z).
+        prop_assert!((sigmoid(-z) - (1.0 - sigmoid(z))).abs() < 1e-5);
+        prop_assert!(softplus(z) >= 0.0);
+        prop_assert!(softplus(z) >= z.max(0.0) - 1e-5);
+    }
+
+    #[test]
+    fn bce_loss_is_nonnegative_and_calibrated(z in -10.0f32..10.0, label in any::<bool>()) {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(1, 1, vec![z]));
+        let l = t.bce_with_logits(x, label as u8 as f32);
+        let loss = t.value(l).get(0, 0);
+        prop_assert!(loss >= -1e-6);
+        // Confident-correct predictions have near-zero loss.
+        if (z > 5.0 && label) || (z < -5.0 && !label) {
+            prop_assert!(loss < 0.01, "loss {loss} for z={z} label={label}");
+        }
+    }
+
+    #[test]
+    fn gradient_of_linear_chain_matches_analytics(w in -2.0f32..2.0, x in -2.0f32..2.0) {
+        // loss = BCE(w * x, 1): d/dw = x (sigmoid(wx) - 1).
+        let mut t = Tape::new();
+        let wn = t.leaf(Matrix::from_vec(1, 1, vec![w]));
+        let xn = t.leaf(Matrix::from_vec(1, 1, vec![x]));
+        let z = t.matmul(wn, xn);
+        let l = t.bce_with_logits(z, 1.0);
+        t.backward(l);
+        let g = t.grad(wn).expect("grad").get(0, 0);
+        let expect = x * (sigmoid(w * x) - 1.0);
+        prop_assert!((g - expect).abs() < 1e-4, "{g} vs {expect}");
+    }
+
+    #[test]
+    fn mean_rows_is_average(m in small_matrix(4, 3)) {
+        let mean = m.mean_rows();
+        for c in 0..3 {
+            let expect: f32 = (0..4).map(|r| m.get(r, c)).sum::<f32>() / 4.0;
+            prop_assert!((mean.get(0, c) - expect).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! ISCAS-85 `.bench` format reader and writer.
+//!
+//! The `.bench` format is the distribution format of the ISCAS85
+//! benchmarks the paper evaluates on:
+//!
+//! ```text
+//! # comment
+//! INPUT(G1)
+//! OUTPUT(G17)
+//! G10 = NAND(G1, G3)
+//! G17 = NOT(G10)
+//! ```
+//!
+//! Supported gate types: `AND`, `NAND`, `OR`, `NOR`, `XOR`, `XNOR`, `NOT`,
+//! `BUF`/`BUFF` (any arity ≥ 2 for the symmetric gates, XOR/XNOR chains
+//! left-to-right). Sequential elements (`DFF`) are rejected — this
+//! workspace is combinational-only, like the paper's ISCAS85 subset.
+
+use almost_aig::{Aig, Lit};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error from [`parse_bench`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchError {
+    line: usize,
+    message: String,
+}
+
+impl ParseBenchError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseBenchError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bench parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseBenchError {}
+
+/// Parses `.bench` text into an AIG.
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] for syntax errors, undefined signals,
+/// unsupported gate types (including `DFF`), or combinational cycles.
+pub fn parse_bench(text: &str) -> Result<Aig, ParseBenchError> {
+    struct GateDef {
+        out: String,
+        func: String,
+        ins: Vec<String>,
+        line: usize,
+    }
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut gates: Vec<GateDef> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let upper = line.to_ascii_uppercase();
+        if let Some(rest) = upper.strip_prefix("INPUT(") {
+            let name = rest
+                .strip_suffix(')')
+                .ok_or_else(|| ParseBenchError::new(lineno, "missing `)`"))?;
+            inputs.push(name.trim().to_string());
+        } else if let Some(rest) = upper.strip_prefix("OUTPUT(") {
+            let name = rest
+                .strip_suffix(')')
+                .ok_or_else(|| ParseBenchError::new(lineno, "missing `)`"))?;
+            outputs.push(name.trim().to_string());
+        } else if let Some(eq) = line.find('=') {
+            let out = line[..eq].trim().to_ascii_uppercase();
+            let rhs = line[eq + 1..].trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| ParseBenchError::new(lineno, "expected `gate(...)`"))?;
+            let func = rhs[..open].trim().to_ascii_uppercase();
+            let args = rhs[open + 1..]
+                .strip_suffix(')')
+                .ok_or_else(|| ParseBenchError::new(lineno, "missing `)`"))?;
+            let ins: Vec<String> = args
+                .split(',')
+                .map(|s| s.trim().to_ascii_uppercase())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if ins.is_empty() {
+                return Err(ParseBenchError::new(lineno, "gate with no inputs"));
+            }
+            gates.push(GateDef {
+                out,
+                func,
+                ins,
+                line: lineno,
+            });
+        } else {
+            return Err(ParseBenchError::new(lineno, format!("unrecognised line `{line}`")));
+        }
+    }
+
+    let mut aig = Aig::new();
+    let mut signals: HashMap<String, Lit> = HashMap::new();
+    for name in &inputs {
+        let lit = aig.add_named_input(name.clone());
+        signals.insert(name.clone(), lit);
+    }
+
+    // Resolve gates in dependency order (simple worklist; detects cycles).
+    let mut pending: Vec<GateDef> = gates;
+    while !pending.is_empty() {
+        let mut progressed = false;
+        let mut still_pending = Vec::new();
+        for g in pending {
+            if g.ins.iter().all(|i| signals.contains_key(i)) {
+                let ins: Vec<Lit> = g.ins.iter().map(|i| signals[i]).collect();
+                let lit = match g.func.as_str() {
+                    "AND" => aig.and_many(&ins),
+                    "NAND" => !aig.and_many(&ins),
+                    "OR" => aig.or_many(&ins),
+                    "NOR" => !aig.or_many(&ins),
+                    "XOR" => aig.xor_many(&ins),
+                    "XNOR" => !aig.xor_many(&ins),
+                    "NOT" | "INV" => {
+                        if ins.len() != 1 {
+                            return Err(ParseBenchError::new(g.line, "NOT takes one input"));
+                        }
+                        !ins[0]
+                    }
+                    "BUF" | "BUFF" => {
+                        if ins.len() != 1 {
+                            return Err(ParseBenchError::new(g.line, "BUFF takes one input"));
+                        }
+                        ins[0]
+                    }
+                    "DFF" => {
+                        return Err(ParseBenchError::new(
+                            g.line,
+                            "sequential element DFF is not supported (combinational only)",
+                        ))
+                    }
+                    other => {
+                        return Err(ParseBenchError::new(
+                            g.line,
+                            format!("unsupported gate type `{other}`"),
+                        ))
+                    }
+                };
+                signals.insert(g.out.clone(), lit);
+                progressed = true;
+            } else {
+                still_pending.push(g);
+            }
+        }
+        if !progressed {
+            let line = still_pending.first().map_or(0, |g| g.line);
+            return Err(ParseBenchError::new(
+                line,
+                "unresolvable signals (cycle or undefined input)",
+            ));
+        }
+        pending = still_pending;
+    }
+
+    for name in &outputs {
+        let lit = *signals
+            .get(name)
+            .ok_or_else(|| ParseBenchError::new(0, format!("undefined output `{name}`")))?;
+        aig.add_named_output(lit, name.clone());
+    }
+    Ok(aig)
+}
+
+/// Writes an AIG as `.bench` text (AND/NOT structure).
+///
+/// Internal nodes get synthetic names `N<var>`; complemented edges become
+/// explicit `NOT` gates so the output is accepted by standard ISCAS
+/// toolchains.
+pub fn write_bench(aig: &Aig) -> String {
+    let mut out = String::new();
+    out.push_str("# generated by almost-netlist\n");
+    for i in 0..aig.num_inputs() {
+        out.push_str(&format!("INPUT({})\n", aig.input_name(i)));
+    }
+    for i in 0..aig.num_outputs() {
+        out.push_str(&format!("OUTPUT({})\n", aig.output_name(i)));
+    }
+
+    let name_of = |lit: Lit, aig: &Aig| -> String {
+        let v = lit.var();
+        let base = if let Some(pos) = aig.inputs().iter().position(|&x| x == v) {
+            aig.input_name(pos).to_string()
+        } else {
+            format!("N{v}")
+        };
+        if lit.is_complement() {
+            format!("{base}_BAR")
+        } else {
+            base
+        }
+    };
+
+    // Emit NOT gates on demand.
+    let mut emitted_not: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut body = String::new();
+    let require = |lit: Lit, aig: &Aig, body: &mut String, emitted: &mut std::collections::HashSet<u32>| {
+        if lit.is_complement() && lit.var() != 0 && emitted.insert(lit.var()) {
+            let pos = name_of(!lit, aig);
+            body.push_str(&format!("{} = NOT({})\n", name_of(lit, aig), pos));
+        }
+    };
+
+    for v in aig.iter_ands() {
+        let (a, b) = aig.and_fanins(v).expect("iterating ANDs");
+        require(a, aig, &mut body, &mut emitted_not);
+        require(b, aig, &mut body, &mut emitted_not);
+        body.push_str(&format!(
+            "N{v} = AND({}, {})\n",
+            name_of(a, aig),
+            name_of(b, aig)
+        ));
+    }
+    // Outputs may be complemented or constants.
+    for (i, o) in aig.outputs().iter().enumerate() {
+        let oname = aig.output_name(i).to_string();
+        if o.var() == 0 {
+            // Constant output: express as x AND NOT x (0) or NAND-style 1.
+            // The format has no constants; synthesise from the first input
+            // if one exists, else emit a self-contradictory comment.
+            if aig.num_inputs() > 0 {
+                let in0 = aig.input_name(0).to_string();
+                if o.is_complement() {
+                    body.push_str(&format!("{oname}_Z = AND({in0}, {in0})\n"));
+                    body.push_str(&format!("{oname}_ZB = NOT({in0})\n"));
+                    body.push_str(&format!("{oname}_T = NAND({oname}_Z, {oname}_ZB)\n"));
+                    // (x AND x) NAND (NOT x) == NOT(x AND NOT x) == 1
+                    body.push_str(&format!("{oname} = BUFF({oname}_T)\n"));
+                } else {
+                    body.push_str(&format!("{oname}_B = NOT({in0})\n"));
+                    body.push_str(&format!("{oname} = AND({in0}, {oname}_B)\n"));
+                }
+            }
+            continue;
+        }
+        require(*o, aig, &mut body, &mut emitted_not);
+        let src = name_of(*o, aig);
+        if src != oname {
+            body.push_str(&format!("{oname} = BUFF({src})\n"));
+        }
+    }
+    out.push_str(&body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a tiny circuit
+INPUT(A)
+INPUT(B)
+INPUT(C)
+OUTPUT(Y)
+T1 = NAND(A, B)
+T2 = XOR(T1, C)
+Y = NOT(T2)
+";
+
+    #[test]
+    fn parse_and_evaluate() {
+        let aig = parse_bench(SAMPLE).expect("parses");
+        assert_eq!(aig.num_inputs(), 3);
+        assert_eq!(aig.num_outputs(), 1);
+        for bits in 0..8u32 {
+            let a = bits & 1 != 0;
+            let b = bits & 2 != 0;
+            let c = bits & 4 != 0;
+            let t1 = !(a && b);
+            let t2 = t1 ^ c;
+            assert_eq!(aig.eval(&[a, b, c]), vec![!t2], "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn out_of_order_definitions_resolve() {
+        let text = "\
+INPUT(A)
+INPUT(B)
+OUTPUT(Y)
+Y = AND(T, B)
+T = OR(A, B)
+";
+        let aig = parse_bench(text).expect("parses");
+        assert_eq!(aig.eval(&[true, false]), vec![false]);
+        assert_eq!(aig.eval(&[true, true]), vec![true]);
+    }
+
+    #[test]
+    fn dff_is_rejected() {
+        let text = "INPUT(A)\nOUTPUT(Q)\nQ = DFF(A)\n";
+        let err = parse_bench(text).expect_err("DFF must be rejected");
+        assert!(err.to_string().contains("DFF"));
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let text = "INPUT(A)\nOUTPUT(X)\nX = AND(Y, A)\nY = AND(X, A)\n";
+        assert!(parse_bench(text).is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let aig = parse_bench(SAMPLE).expect("parses");
+        let text = write_bench(&aig);
+        let back = parse_bench(&text).expect("round-trips");
+        assert_eq!(back.num_inputs(), aig.num_inputs());
+        assert_eq!(back.num_outputs(), aig.num_outputs());
+        for bits in 0..8u32 {
+            let ins: Vec<bool> = (0..3).map(|i| bits >> i & 1 != 0).collect();
+            assert_eq!(aig.eval(&ins), back.eval(&ins), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn multi_input_gates() {
+        let text = "\
+INPUT(A)
+INPUT(B)
+INPUT(C)
+INPUT(D)
+OUTPUT(Y)
+Y = NOR(A, B, C, D)
+";
+        let aig = parse_bench(text).expect("parses");
+        assert_eq!(aig.eval(&[false, false, false, false]), vec![true]);
+        assert_eq!(aig.eval(&[false, true, false, false]), vec![false]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Tseitin encoding of AIGs into CNF.
+//!
+//! Every AIG node gets a solver variable; an AND node `v = a ∧ b` produces
+//! the three clauses `(¬v ∨ a) (¬v ∨ b) (v ∨ ¬a ∨ ¬b)`. Node overrides allow
+//! encoding *faulty* copies (stuck-at values) for ATPG.
+
+use crate::solver::{SatLit, SatVar, Solver};
+use almost_aig::{Aig, Lit, NodeKind, Var};
+use std::collections::HashMap;
+
+/// The result of encoding one AIG copy into a solver.
+#[derive(Clone, Debug)]
+pub struct AigCnf {
+    /// Solver variable for each primary input, in input order.
+    pub input_vars: Vec<SatVar>,
+    /// Solver literal for each primary output, in output order.
+    pub output_lits: Vec<SatLit>,
+    /// Solver literal for every AIG node (by node index).
+    pub node_lits: Vec<SatLit>,
+}
+
+/// Encodes `aig` into `solver`, creating fresh input variables.
+pub fn encode(solver: &mut Solver, aig: &Aig) -> AigCnf {
+    let input_vars: Vec<SatVar> = (0..aig.num_inputs()).map(|_| solver.new_var()).collect();
+    encode_with_inputs(solver, aig, &input_vars, &HashMap::new())
+}
+
+/// Encodes `aig` into `solver` re-using the given input variables (for
+/// miters), with optional stuck-at `overrides` (AIG node → forced constant).
+///
+/// An overridden node's defining clauses are skipped; the node is replaced
+/// by the constant. Fanout logic then sees the faulty value.
+///
+/// # Panics
+///
+/// Panics if `input_vars.len()` differs from the AIG's input count.
+pub fn encode_with_inputs(
+    solver: &mut Solver,
+    aig: &Aig,
+    input_vars: &[SatVar],
+    overrides: &HashMap<Var, bool>,
+) -> AigCnf {
+    assert_eq!(input_vars.len(), aig.num_inputs());
+    // A dedicated "false" variable keeps constants uniform.
+    let false_var = solver.new_var();
+    solver.add_clause(&[SatLit::negative(false_var)]);
+    let const_false = SatLit::positive(false_var);
+
+    let mut node_lits: Vec<SatLit> = Vec::with_capacity(aig.num_nodes());
+    for v in aig.iter_vars() {
+        if let Some(&value) = overrides.get(&v) {
+            node_lits.push(if value { !const_false } else { const_false });
+            continue;
+        }
+        let lit = match aig.node(v) {
+            NodeKind::Const0 => const_false,
+            NodeKind::Input(i) => SatLit::positive(input_vars[i as usize]),
+            NodeKind::And(a, b) => {
+                let la = lit_of(&node_lits, a);
+                let lb = lit_of(&node_lits, b);
+                let out = SatLit::positive(solver.new_var());
+                solver.add_clause(&[!out, la]);
+                solver.add_clause(&[!out, lb]);
+                solver.add_clause(&[out, !la, !lb]);
+                out
+            }
+        };
+        node_lits.push(lit);
+    }
+    let output_lits = aig
+        .outputs()
+        .iter()
+        .map(|l| lit_of(&node_lits, *l))
+        .collect();
+    AigCnf {
+        input_vars: input_vars.to_vec(),
+        output_lits,
+        node_lits,
+    }
+}
+
+fn lit_of(node_lits: &[SatLit], lit: Lit) -> SatLit {
+    let base = node_lits[lit.var() as usize];
+    if lit.is_complement() {
+        !base
+    } else {
+        base
+    }
+}
+
+/// Adds an XOR constraint `out = a ⊕ b` and returns `out`.
+pub fn encode_xor(solver: &mut Solver, a: SatLit, b: SatLit) -> SatLit {
+    let out = SatLit::positive(solver.new_var());
+    solver.add_clause(&[!out, a, b]);
+    solver.add_clause(&[!out, !a, !b]);
+    solver.add_clause(&[out, !a, b]);
+    solver.add_clause(&[out, a, !b]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SatResult;
+    use almost_aig::Aig;
+
+    fn build_xor() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let f = aig.xor(a, b);
+        aig.add_output(f);
+        aig
+    }
+
+    #[test]
+    fn encoding_matches_eval() {
+        let aig = build_xor();
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut s = Solver::new();
+            let cnf = encode(&mut s, &aig);
+            let assumptions = [
+                SatLit::new(cnf.input_vars[0], !va),
+                SatLit::new(cnf.input_vars[1], !vb),
+            ];
+            assert_eq!(s.solve(&assumptions), SatResult::Sat);
+            let got = s.lit_bool(cnf.output_lits[0]).expect("assigned");
+            assert_eq!(got, aig.eval(&[va, vb])[0]);
+        }
+    }
+
+    #[test]
+    fn override_forces_constant() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let f = aig.and(a, b);
+        aig.add_output(f);
+        let mut s = Solver::new();
+        let inputs: Vec<SatVar> = (0..2).map(|_| s.new_var()).collect();
+        let mut overrides = HashMap::new();
+        overrides.insert(f.var(), true); // stuck-at-1
+        let cnf = encode_with_inputs(&mut s, &aig, &inputs, &overrides);
+        // With a=0, output must still be 1 because of the stuck-at.
+        let assumptions = [SatLit::negative(inputs[0])];
+        assert_eq!(s.solve(&assumptions), SatResult::Sat);
+        assert_eq!(s.lit_bool(cnf.output_lits[0]), Some(true));
+    }
+
+    #[test]
+    fn xor_gadget() {
+        let mut s = Solver::new();
+        let a = SatLit::positive(s.new_var());
+        let b = SatLit::positive(s.new_var());
+        let x = encode_xor(&mut s, a, b);
+        // Force x=1 and a=1 => b must be 0.
+        s.add_clause(&[x]);
+        s.add_clause(&[a]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert_eq!(s.lit_bool(b), Some(false));
+    }
+}

@@ -1,0 +1,34 @@
+//! A compact CDCL SAT solver with AIG Tseitin encoding, combinational
+//! equivalence checking (CEC) and stuck-at-fault test generation.
+//!
+//! This crate provides the "proof engine" substrate of the ALMOST
+//! reproduction: the synthesis passes are validated by [`equiv`]'s
+//! SAT-based CEC, and the redundancy attack (`almost-attacks`) uses
+//! [`equiv::test_stuck_at`] as its ATPG oracle.
+//!
+//! The solver ([`solver::Solver`]) implements the standard modern recipe:
+//! two-watched-literal propagation, first-UIP conflict analysis with
+//! clause learning, VSIDS-style activity decision heuristics, phase saving,
+//! geometric restarts, and incremental solving under assumptions.
+//!
+//! # Example
+//!
+//! ```
+//! use almost_sat::solver::{Solver, SatLit, SatResult};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause(&[SatLit::positive(a), SatLit::positive(b)]);
+//! s.add_clause(&[SatLit::negative(a)]);
+//! assert_eq!(s.solve(&[]), SatResult::Sat);
+//! assert_eq!(s.value(b), Some(true));
+//! ```
+
+pub mod cnf;
+pub mod dimacs;
+pub mod equiv;
+pub mod solver;
+
+pub use equiv::{check_equivalence, test_stuck_at, Equivalence};
+pub use solver::{SatLit, SatResult, SatVar, Solver};

@@ -1,0 +1,812 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! The implementation follows the MiniSat architecture: two watched literals
+//! per clause, first-UIP learning, VSIDS activities with exponential decay,
+//! phase saving, and geometric restarts. It is deliberately compact — the
+//! workloads in this workspace (CEC miters and ATPG queries over circuits of
+//! a few thousand gates) do not need preprocessing or clause-database
+//! reduction to solve in milliseconds.
+
+use std::fmt;
+
+/// A solver variable (0-based index).
+pub type SatVar = u32;
+
+/// A solver literal: variable plus sign, encoded as `var << 1 | negated`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SatLit(u32);
+
+impl SatLit {
+    /// The positive literal of `var`.
+    pub fn positive(var: SatVar) -> Self {
+        SatLit(var << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn negative(var: SatVar) -> Self {
+        SatLit(var << 1 | 1)
+    }
+
+    /// Builds a literal with an explicit sign (`negated = true` means ¬var).
+    pub fn new(var: SatVar, negated: bool) -> Self {
+        SatLit(var << 1 | negated as u32)
+    }
+
+    /// The literal's variable.
+    pub fn var(self) -> SatVar {
+        self.0 >> 1
+    }
+
+    /// True if the literal is negated.
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Raw index (used for watch lists).
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for SatLit {
+    type Output = SatLit;
+    fn not(self) -> SatLit {
+        SatLit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for SatLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬x{}", self.var())
+        } else {
+            write!(f, "x{}", self.var())
+        }
+    }
+}
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment was found (query it with [`Solver::value`]).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Value {
+    True,
+    False,
+    Unassigned,
+}
+
+const INVALID_CLAUSE: u32 = u32::MAX;
+
+/// A CDCL SAT solver; see the [module documentation](self).
+pub struct Solver {
+    clauses: Vec<Vec<SatLit>>,
+    watches: Vec<Vec<u32>>,
+    assign: Vec<Value>,
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<SatLit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    seen: Vec<bool>,
+    /// Set when an empty clause (or a root-level conflict) makes the formula
+    /// trivially unsatisfiable.
+    unsat: bool,
+    num_conflicts: u64,
+    num_decisions: u64,
+    num_propagations: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            seen: Vec::new(),
+            unsat: false,
+            num_conflicts: 0,
+            num_decisions: 0,
+            num_propagations: 0,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> SatVar {
+        let v = self.assign.len() as SatVar;
+        self.assign.push(Value::Unassigned);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(INVALID_CLAUSE);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (original + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Statistics: (decisions, propagations, conflicts).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.num_decisions, self.num_propagations, self.num_conflicts)
+    }
+
+    fn lit_value(&self, lit: SatLit) -> Value {
+        match self.assign[lit.var() as usize] {
+            Value::Unassigned => Value::Unassigned,
+            Value::True => {
+                if lit.is_negative() {
+                    Value::False
+                } else {
+                    Value::True
+                }
+            }
+            Value::False => {
+                if lit.is_negative() {
+                    Value::True
+                } else {
+                    Value::False
+                }
+            }
+        }
+    }
+
+    /// Adds a clause. If a model from a previous `solve` call is still
+    /// active, it is discarded (the solver backtracks to level 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any literal references an unallocated variable.
+    pub fn add_clause(&mut self, lits: &[SatLit]) {
+        self.cancel_until(0);
+        for l in lits {
+            assert!((l.var() as usize) < self.assign.len(), "unknown variable");
+        }
+        // Simplify: drop duplicate literals; detect tautologies.
+        let mut simplified: Vec<SatLit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            if simplified.contains(&!l) {
+                return; // tautology, always satisfied
+            }
+            if !simplified.contains(&l) {
+                // Skip literals already false at level 0 and drop the clause
+                // if any literal is already true at level 0.
+                match self.lit_value(l) {
+                    Value::True => return,
+                    Value::False => continue,
+                    Value::Unassigned => simplified.push(l),
+                }
+            }
+        }
+        match simplified.len() {
+            0 => self.unsat = true,
+            1 => {
+                if !self.enqueue(simplified[0], INVALID_CLAUSE) {
+                    self.unsat = true;
+                } else if self.propagate() != INVALID_CLAUSE {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[simplified[0].index()].push(idx);
+                self.watches[simplified[1].index()].push(idx);
+                self.clauses.push(simplified);
+            }
+        }
+    }
+
+    /// Enqueues an assignment; returns false on conflict with the current
+    /// assignment.
+    fn enqueue(&mut self, lit: SatLit, reason: u32) -> bool {
+        match self.lit_value(lit) {
+            Value::True => true,
+            Value::False => false,
+            Value::Unassigned => {
+                let v = lit.var() as usize;
+                self.assign[v] = if lit.is_negative() {
+                    Value::False
+                } else {
+                    Value::True
+                };
+                self.phase[v] = !lit.is_negative();
+                self.level[v] = self.trail_lim.len() as u32;
+                self.reason[v] = reason;
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause or
+    /// `INVALID_CLAUSE`.
+    fn propagate(&mut self) -> u32 {
+        while self.qhead < self.trail.len() {
+            let lit = self.trail[self.qhead];
+            self.qhead += 1;
+            self.num_propagations += 1;
+            let false_lit = !lit;
+            // Take the watch list; rebuild it as we go.
+            let mut watch_list = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                enum Action {
+                    Keep,
+                    Move(SatLit),
+                    Unit(SatLit),
+                }
+                let action = {
+                    let clause = &mut self.clauses[ci as usize];
+                    // Ensure the false literal is at position 1.
+                    if clause[0] == false_lit {
+                        clause.swap(0, 1);
+                    }
+                    debug_assert_eq!(clause[1], false_lit);
+                    let first = clause[0];
+                    if value_in(&self.assign, first) == Value::True {
+                        Action::Keep // clause already satisfied
+                    } else {
+                        // Look for a new literal to watch.
+                        let mut found = None;
+                        for k in 2..clause.len() {
+                            if value_in(&self.assign, clause[k]) != Value::False {
+                                clause.swap(1, k);
+                                found = Some(clause[1]);
+                                break;
+                            }
+                        }
+                        match found {
+                            Some(l) => Action::Move(l),
+                            None => Action::Unit(first),
+                        }
+                    }
+                };
+                match action {
+                    Action::Keep => i += 1,
+                    Action::Move(new_watch) => {
+                        self.watches[new_watch.index()].push(ci);
+                        watch_list.swap_remove(i);
+                    }
+                    Action::Unit(first) => {
+                        // Clause is unit or conflicting.
+                        if !self.enqueue(first, ci) {
+                            // Conflict: restore remaining watches and report.
+                            self.watches[false_lit.index()].extend_from_slice(&watch_list);
+                            self.qhead = self.trail.len();
+                            return ci;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            self.watches[false_lit.index()] = watch_list;
+        }
+        INVALID_CLAUSE
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns (learnt clause, backjump level).
+    fn analyze(&mut self, conflict: u32) -> (Vec<SatLit>, u32) {
+        let mut learnt: Vec<SatLit> = vec![SatLit::positive(0)]; // placeholder slot 0
+        let mut counter = 0usize;
+        let mut lit: Option<SatLit> = None;
+        let mut clause_idx = conflict;
+        let mut trail_pos = self.trail.len();
+        let current_level = self.trail_lim.len() as u32;
+
+        loop {
+            let start = if lit.is_none() { 0 } else { 1 };
+            let clause_len = self.clauses[clause_idx as usize].len();
+            for k in start..clause_len {
+                let q = self.clauses[clause_idx as usize][k];
+                let v = q.var() as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(v);
+                    if self.level[v] == current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next seen literal on the trail.
+            loop {
+                trail_pos -= 1;
+                let p = self.trail[trail_pos];
+                if self.seen[p.var() as usize] {
+                    lit = Some(p);
+                    break;
+                }
+            }
+            let p = lit.expect("found a seen literal");
+            self.seen[p.var() as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p;
+                break;
+            }
+            clause_idx = self.reason[p.var() as usize];
+            debug_assert_ne!(clause_idx, INVALID_CLAUSE, "UIP literal has a reason");
+        }
+
+        for l in &learnt[1..] {
+            self.seen[l.var() as usize] = false;
+        }
+
+        // Backjump level: the highest level among the non-asserting
+        // literals.
+        let backjump = learnt[1..]
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .max()
+            .unwrap_or(0);
+        // Move a literal of the backjump level to position 1 (watch
+        // invariant after backjumping).
+        if learnt.len() > 1 {
+            let pos = learnt[1..]
+                .iter()
+                .position(|l| self.level[l.var() as usize] == backjump)
+                .expect("a literal at the backjump level exists")
+                + 1;
+            learnt.swap(1, pos);
+        }
+        (learnt, backjump)
+    }
+
+    fn cancel_until(&mut self, target_level: u32) {
+        while self.trail_lim.len() as u32 > target_level {
+            let lim = self.trail_lim.pop().expect("non-root level");
+            while self.trail.len() > lim {
+                let lit = self.trail.pop().expect("trail non-empty");
+                let v = lit.var() as usize;
+                self.assign[v] = Value::Unassigned;
+                self.reason[v] = INVALID_CLAUSE;
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<SatLit> {
+        let mut best: Option<usize> = None;
+        for v in 0..self.assign.len() {
+            if self.assign[v] == Value::Unassigned {
+                match best {
+                    None => best = Some(v),
+                    Some(b) => {
+                        if self.activity[v] > self.activity[b] {
+                            best = Some(v);
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|v| SatLit::new(v as SatVar, !self.phase[v]))
+    }
+
+    /// Solves the formula under the given assumptions.
+    ///
+    /// After [`SatResult::Sat`], [`Solver::value`] reports the model. The
+    /// solver can be re-used: more clauses and further `solve` calls are
+    /// allowed.
+    pub fn solve(&mut self, assumptions: &[SatLit]) -> SatResult {
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        self.cancel_until(0);
+        if self.propagate() != INVALID_CLAUSE {
+            self.unsat = true;
+            return SatResult::Unsat;
+        }
+
+        let mut restart_limit = 100u64;
+        let mut conflicts_since_restart = 0u64;
+
+        loop {
+            let conflict = self.propagate();
+            if conflict != INVALID_CLAUSE {
+                self.num_conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.trail_lim.is_empty() {
+                    self.unsat = true;
+                    return SatResult::Unsat;
+                }
+                // Conflicts below the assumption levels mean the assumptions
+                // are inconsistent with the formula; analyze() still works,
+                // and re-deciding the assumptions below re-detects it until
+                // the learnt clauses force a root conflict. To keep it
+                // simple and terminating, treat a conflict at or below the
+                // number of assumption levels as UNSAT-under-assumptions.
+                let (learnt, backjump) = self.analyze(conflict);
+                if (self.trail_lim.len() as u32) <= num_assumed_levels(assumptions, self) {
+                    return SatResult::Unsat;
+                }
+                let backjump = backjump.max(num_assumed_levels(assumptions, self));
+                self.cancel_until(backjump);
+                // Decay activities.
+                self.var_inc /= 0.95;
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    if !self.enqueue(asserting, INVALID_CLAUSE) {
+                        self.unsat = true;
+                        return SatResult::Unsat;
+                    }
+                } else {
+                    let idx = self.clauses.len() as u32;
+                    self.watches[learnt[0].index()].push(idx);
+                    self.watches[learnt[1].index()].push(idx);
+                    self.clauses.push(learnt);
+                    let ok = self.enqueue(asserting, idx);
+                    debug_assert!(ok, "asserting literal must be enqueueable");
+                }
+                if conflicts_since_restart >= restart_limit {
+                    conflicts_since_restart = 0;
+                    restart_limit = restart_limit + restart_limit / 2;
+                    self.cancel_until(num_assumed_levels(assumptions, self));
+                }
+                continue;
+            }
+
+            // Assumption decisions first.
+            let next_level = self.trail_lim.len();
+            if next_level < assumptions.len() {
+                let a = assumptions[next_level];
+                match self.lit_value(a) {
+                    Value::True => {
+                        // Already implied; open an empty decision level so
+                        // the level <-> assumption-index bookkeeping stays
+                        // aligned.
+                        self.trail_lim.push(self.trail.len());
+                        continue;
+                    }
+                    Value::False => return SatResult::Unsat,
+                    Value::Unassigned => {
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(a, INVALID_CLAUSE);
+                        debug_assert!(ok);
+                        continue;
+                    }
+                }
+            }
+
+            match self.decide() {
+                None => return SatResult::Sat,
+                Some(lit) => {
+                    self.num_decisions += 1;
+                    self.trail_lim.push(self.trail.len());
+                    let ok = self.enqueue(lit, INVALID_CLAUSE);
+                    debug_assert!(ok);
+                }
+            }
+        }
+    }
+
+    /// The model value of `var` after a [`SatResult::Sat`] answer; `None` if
+    /// the variable is unassigned (didn't matter).
+    pub fn value(&self, var: SatVar) -> Option<bool> {
+        match self.assign[var as usize] {
+            Value::True => Some(true),
+            Value::False => Some(false),
+            Value::Unassigned => None,
+        }
+    }
+
+    /// The model value of a literal.
+    pub fn lit_bool(&self, lit: SatLit) -> Option<bool> {
+        self.value(lit.var()).map(|v| v ^ lit.is_negative())
+    }
+}
+
+/// Literal value lookup over the assignment array (a free function so it can
+/// be used while other solver fields are mutably borrowed).
+fn value_in(assign: &[Value], lit: SatLit) -> Value {
+    match assign[lit.var() as usize] {
+        Value::Unassigned => Value::Unassigned,
+        Value::True => {
+            if lit.is_negative() {
+                Value::False
+            } else {
+                Value::True
+            }
+        }
+        Value::False => {
+            if lit.is_negative() {
+                Value::True
+            } else {
+                Value::False
+            }
+        }
+    }
+}
+
+fn num_assumed_levels(assumptions: &[SatLit], solver: &Solver) -> u32 {
+    (assumptions.len() as u32).min(solver.trail_lim.len() as u32)
+}
+
+impl fmt::Debug for Solver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Solver {{ vars: {}, clauses: {}, conflicts: {} }}",
+            self.num_vars(),
+            self.num_clauses(),
+            self.num_conflicts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: SatVar, neg: bool) -> SatLit {
+        SatLit::new(v, neg)
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[lit(a, false)]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[lit(a, false)]);
+        s.add_clause(&[lit(a, true)]);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        let _ = s.new_var();
+        s.add_clause(&[]);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn implication_chain() {
+        let mut s = Solver::new();
+        let vars: Vec<SatVar> = (0..10).map(|_| s.new_var()).collect();
+        for w in vars.windows(2) {
+            s.add_clause(&[lit(w[0], true), lit(w[1], false)]); // v[i] -> v[i+1]
+        }
+        s.add_clause(&[lit(vars[0], false)]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        for &v in &vars {
+            assert_eq!(s.value(v), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[i][j]: pigeon i in hole j; 3 pigeons, 2 holes.
+        let mut s = Solver::new();
+        let mut p = [[SatLit::positive(0); 2]; 3];
+        for row in p.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = SatLit::positive(s.new_var());
+            }
+        }
+        for row in &p {
+            s.add_clause(&[row[0], row[1]]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn xor_constraints() {
+        // a xor b, b xor c, a xor c is UNSAT (odd cycle).
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        let xor = |s: &mut Solver, x: SatVar, y: SatVar| {
+            s.add_clause(&[lit(x, false), lit(y, false)]);
+            s.add_clause(&[lit(x, true), lit(y, true)]);
+        };
+        xor(&mut s, a, b);
+        xor(&mut s, b, c);
+        xor(&mut s, a, c);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_flip_results() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[lit(a, true), lit(b, false)]); // a -> b
+        assert_eq!(s.solve(&[lit(a, false), lit(b, true)]), SatResult::Unsat);
+        assert_eq!(s.solve(&[lit(a, false), lit(b, false)]), SatResult::Sat);
+        // Solver is reusable after both answers.
+        assert_eq!(s.solve(&[lit(a, true)]), SatResult::Sat);
+    }
+
+    #[test]
+    fn random_3sat_matches_brute_force() {
+        // 12 variables, random 3-SAT instances cross-checked against
+        // exhaustive enumeration.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _round in 0..20 {
+            let nvars = 12u32;
+            let nclauses = 48;
+            let mut clauses: Vec<Vec<SatLit>> = Vec::new();
+            for _ in 0..nclauses {
+                let mut cl = Vec::new();
+                for _ in 0..3 {
+                    let v = (next() % nvars as u64) as SatVar;
+                    let neg = next() % 2 == 0;
+                    cl.push(SatLit::new(v, neg));
+                }
+                clauses.push(cl);
+            }
+            // Brute force.
+            let mut bf_sat = false;
+            'outer: for m in 0..(1u32 << nvars) {
+                for cl in &clauses {
+                    let ok = cl.iter().any(|l| {
+                        let val = (m >> l.var()) & 1 != 0;
+                        val ^ l.is_negative()
+                    });
+                    if !ok {
+                        continue 'outer;
+                    }
+                }
+                bf_sat = true;
+                break;
+            }
+            // Solver.
+            let mut s = Solver::new();
+            for _ in 0..nvars {
+                s.new_var();
+            }
+            for cl in &clauses {
+                s.add_clause(cl);
+            }
+            let got = s.solve(&[]);
+            assert_eq!(
+                got,
+                if bf_sat { SatResult::Sat } else { SatResult::Unsat },
+            );
+            if got == SatResult::Sat {
+                // The model must satisfy every clause.
+                for cl in &clauses {
+                    assert!(cl.iter().any(|l| s.lit_bool(*l).unwrap_or(false)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn pigeonhole_4_into_3_is_unsat() {
+        let mut s = Solver::new();
+        let mut p = vec![[SatLit::positive(0); 3]; 4];
+        for row in p.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = SatLit::positive(s.new_var());
+            }
+        }
+        for row in &p {
+            s.add_clause(&[row[0], row[1], row[2]]);
+        }
+        for j in 0..3 {
+            for i1 in 0..4 {
+                for i2 in (i1 + 1)..4 {
+                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+        let (_, _, conflicts) = s.stats();
+        assert!(conflicts > 0, "UNSAT proof requires conflicts");
+    }
+
+    #[test]
+    fn incremental_clause_addition_after_sat() {
+        let mut s = Solver::new();
+        let a = SatLit::positive(s.new_var());
+        let b = SatLit::positive(s.new_var());
+        s.add_clause(&[a, b]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        // Narrow the solution space incrementally.
+        s.add_clause(&[!a]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert_eq!(s.lit_bool(b), Some(true));
+        s.add_clause(&[!b]);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+        // Once root-level UNSAT, it stays UNSAT.
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses_are_simplified() {
+        let mut s = Solver::new();
+        let a = SatLit::positive(s.new_var());
+        let before = s.num_clauses();
+        s.add_clause(&[a, !a]); // tautology: dropped
+        assert_eq!(s.num_clauses(), before);
+        s.add_clause(&[a, a]); // duplicates collapse to a unit
+        assert_eq!(s.num_clauses(), before, "unit clauses are enqueued, not stored");
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert_eq!(s.lit_bool(a), Some(true));
+    }
+
+    #[test]
+    fn assumptions_do_not_pollute_later_solves() {
+        let mut s = Solver::new();
+        let a = SatLit::positive(s.new_var());
+        let b = SatLit::positive(s.new_var());
+        s.add_clause(&[a, b]);
+        assert_eq!(s.solve(&[!a, !b]), SatResult::Unsat);
+        // Without assumptions the instance is satisfiable again.
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert_eq!(s.solve(&[!a]), SatResult::Sat);
+        assert_eq!(s.lit_bool(b), Some(true));
+    }
+}

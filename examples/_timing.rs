@@ -1,0 +1,11 @@
+use almost_circuits::IscasBenchmark;
+use almost_core::Recipe;
+use std::time::Instant;
+fn main() {
+    for b in [IscasBenchmark::C1355, IscasBenchmark::C5315, IscasBenchmark::C7552] {
+        let aig = b.build();
+        let t = Instant::now();
+        let out = Recipe::resyn2().apply(&aig);
+        println!("{}: {} ANDs -> {} in {:?}", b, aig.num_ands(), out.num_ands(), t.elapsed());
+    }
+}

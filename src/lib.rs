@@ -1,0 +1,39 @@
+//! Umbrella crate for the ALMOST (DAC 2023) reproduction.
+//!
+//! This crate re-exports the workspace members under a single namespace so
+//! examples and downstream users can depend on one crate:
+//!
+//! - [`aig`] — and-inverter-graph synthesis substrate (mini-ABC).
+//! - [`sat`] — CDCL SAT solver used for equivalence checking and ATPG.
+//! - [`netlist`] — cell library, technology mapping, and PPA analysis.
+//! - [`circuits`] — ISCAS85-profile benchmark circuit generators.
+//! - [`locking`] — random logic locking (RLL), bubble pushing, re-locking.
+//! - [`ml`] — dense tensors, reverse-mode autodiff, GIN layers, Adam.
+//! - [`attacks`] — oracle-less attacks: OMLA, SCOPE, redundancy, SnapShot.
+//! - [`almost`] — the ALMOST framework: recipes, simulated annealing,
+//!   adversarial proxy-model training, security-aware synthesis.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use almost_repro::circuits::IscasBenchmark;
+//! use almost_repro::locking::{LockingScheme, Rll};
+//! use almost_repro::almost::Recipe;
+//! use rand::SeedableRng;
+//! use rand::rngs::StdRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let aig = IscasBenchmark::C1355.build();
+//! let locked = Rll::new(16).lock(&aig, &mut rng).expect("lockable");
+//! let synthesized = Recipe::resyn2().apply(&locked.aig);
+//! assert!(synthesized.num_ands() > 0);
+//! ```
+
+pub use almost_aig as aig;
+pub use almost_attacks as attacks;
+pub use almost_circuits as circuits;
+pub use almost_core as almost;
+pub use almost_locking as locking;
+pub use almost_ml as ml;
+pub use almost_netlist as netlist;
+pub use almost_sat as sat;

@@ -1,0 +1,74 @@
+//! Locking integration tests: RLL and MUX locking across benchmarks and
+//! key sizes, with and without synthesis in between.
+
+use almost_repro::aig::sim::probably_equivalent;
+use almost_repro::almost::Recipe;
+use almost_repro::circuits::IscasBenchmark;
+use almost_repro::locking::{apply_key, relock, LockingScheme, MuxLock, Rll};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn rll_roundtrip_across_key_sizes(seed in 0u64..1000, key_size in 4usize..48) {
+        let base = IscasBenchmark::C432.build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let locked = Rll::new(key_size).lock(&base, &mut rng).expect("lockable");
+        prop_assert_eq!(locked.key_size(), key_size);
+        prop_assert_eq!(locked.aig.num_inputs(), base.num_inputs() + key_size);
+        let restored = apply_key(&locked.aig, locked.key_input_start, locked.key.bits());
+        prop_assert!(probably_equivalent(&base, &restored, 16, seed));
+    }
+
+    #[test]
+    fn single_flipped_bit_corrupts_some_output(seed in 0u64..1000) {
+        let base = IscasBenchmark::C432.build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let locked = Rll::new(16).lock(&base, &mut rng).expect("lockable");
+        let mut wrong = locked.key.bits().to_vec();
+        wrong[0] = !wrong[0];
+        let broken = apply_key(&locked.aig, locked.key_input_start, &wrong);
+        // An XOR key gate guarantees the flipped bit inverts an internal
+        // signal; unless that cone is dead, outputs differ somewhere.
+        prop_assert!(!probably_equivalent(&base, &broken, 32, seed ^ 1));
+    }
+}
+
+#[test]
+fn rll_roundtrip_survives_synthesis_on_every_paper_benchmark() {
+    for bench in IscasBenchmark::PAPER_SEVEN {
+        let base = bench.build();
+        let mut rng = StdRng::seed_from_u64(7);
+        let locked = Rll::new(64).lock(&base, &mut rng).expect("lockable");
+        let deployed = Recipe::resyn2().apply(&locked.aig);
+        let restored = apply_key(&deployed, locked.key_input_start, locked.key.bits());
+        assert!(
+            probably_equivalent(&base, &restored, 16, 11),
+            "{bench}: key no longer unlocks after resyn2"
+        );
+    }
+}
+
+#[test]
+fn mux_locking_roundtrip() {
+    let base = IscasBenchmark::C880.build();
+    let mut rng = StdRng::seed_from_u64(5);
+    let locked = MuxLock::new(24).lock(&base, &mut rng).expect("lockable");
+    let restored = apply_key(&locked.aig, locked.key_input_start, locked.key.bits());
+    assert!(probably_equivalent(&base, &restored, 16, 2));
+}
+
+#[test]
+fn relocking_preserves_unlockability_of_both_generations() {
+    let base = IscasBenchmark::C1355.build();
+    let mut rng = StdRng::seed_from_u64(9);
+    let first = Rll::new(16).lock(&base, &mut rng).expect("lockable");
+    let second = relock(&Rll::new(8), &first.aig, &mut rng).expect("relockable");
+    // Apply the second key, then the first: original function restored.
+    let after_second = apply_key(&second.aig, second.key_input_start, second.key.bits());
+    let after_both = apply_key(&after_second, first.key_input_start, first.key.bits());
+    assert!(probably_equivalent(&base, &after_both, 16, 3));
+}
