@@ -794,10 +794,7 @@ mod tests {
         let compacted = aig.compact();
         assert_eq!(compacted.num_ands(), 1);
         assert_eq!(compacted.num_inputs(), 2);
-        assert_eq!(
-            aig.eval(&[true, true]),
-            compacted.eval(&[true, true])
-        );
+        assert_eq!(aig.eval(&[true, true]), compacted.eval(&[true, true]));
     }
 
     #[test]

@@ -91,7 +91,9 @@ impl Cut {
         if self.signature & !other.signature != 0 {
             return false;
         }
-        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+        self.leaves
+            .iter()
+            .all(|l| other.leaves.binary_search(l).is_ok())
     }
 }
 

@@ -152,12 +152,12 @@ pub fn build_from_tt(dest: &mut Aig, tt: &Tt, leaves: &[Lit]) -> Lit {
         return Lit::TRUE;
     }
     // Single-variable function?
-    for v in 0..tt.nvars() {
+    for (v, &leaf) in leaves.iter().enumerate() {
         if &Tt::var(v, tt.nvars()) == tt {
-            return leaves[v];
+            return leaf;
         }
         if &Tt::var(v, tt.nvars()).not() == tt {
-            return !leaves[v];
+            return !leaf;
         }
     }
 
@@ -271,7 +271,10 @@ mod tests {
 
     #[test]
     fn cube_eval() {
-        let c = Cube { pos: 0b01, neg: 0b10 };
+        let c = Cube {
+            pos: 0b01,
+            neg: 0b10,
+        };
         assert!(c.eval(0b01));
         assert!(!c.eval(0b11));
         assert!(!c.eval(0b00));
@@ -282,7 +285,9 @@ mod tests {
         // All 4-variable functions would be 65536 cases; sample a spread.
         let mut seed = 0x9E37_79B9_u64;
         for _ in 0..200 {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let bits = seed >> 48;
             let f = Tt::from_u64(4, bits);
             let mut aig = Aig::new();
@@ -306,10 +311,7 @@ mod tests {
         let leaves: Vec<Lit> = (0..3).map(|_| aig.add_input()).collect();
         assert_eq!(build_from_tt(&mut aig, &Tt::zero(3), &leaves), Lit::FALSE);
         assert_eq!(build_from_tt(&mut aig, &Tt::one(3), &leaves), Lit::TRUE);
-        assert_eq!(
-            build_from_tt(&mut aig, &Tt::var(1, 3), &leaves),
-            leaves[1]
-        );
+        assert_eq!(build_from_tt(&mut aig, &Tt::var(1, 3), &leaves), leaves[1]);
         assert_eq!(
             build_from_tt(&mut aig, &Tt::var(2, 3).not(), &leaves),
             !leaves[2]

@@ -43,13 +43,7 @@ fn deref(aig: &Aig, v: Var, leaves: &HashSet<Var>, refs: &mut [u32]) -> usize {
     count
 }
 
-fn deref_collect(
-    aig: &Aig,
-    v: Var,
-    leaves: &HashSet<Var>,
-    refs: &mut [u32],
-    nodes: &mut Vec<Var>,
-) {
+fn deref_collect(aig: &Aig, v: Var, leaves: &HashSet<Var>, refs: &mut [u32], nodes: &mut Vec<Var>) {
     nodes.push(v);
     let (a, b) = aig.and_fanins(v).expect("MFFC root must be an AND node");
     for fanin in [a.var(), b.var()] {

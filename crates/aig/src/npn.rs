@@ -77,7 +77,10 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
 /// Panics if `tt` has more than 4 variables.
 pub fn canonize(tt: &Tt) -> (Tt, NpnTransform) {
     let n = tt.nvars();
-    assert!(n <= 4, "exhaustive NPN canonisation is limited to 4 variables");
+    assert!(
+        n <= 4,
+        "exhaustive NPN canonisation is limited to 4 variables"
+    );
     let perms = permutations(n);
     let mut best: Option<(Tt, NpnTransform)> = None;
     for flips in 0..(1u32 << n) {
@@ -90,7 +93,11 @@ pub fn canonize(tt: &Tt) -> (Tt, NpnTransform) {
         for perm in &perms {
             let permuted = flipped.permute(perm);
             for &out_flip in &[false, true] {
-                let cand = if out_flip { permuted.not() } else { permuted.clone() };
+                let cand = if out_flip {
+                    permuted.not()
+                } else {
+                    permuted.clone()
+                };
                 let better = match &best {
                     None => true,
                     Some((b, _)) => cand.words() < b.words(),

@@ -279,8 +279,7 @@ mod tests {
     pub(crate) fn random_aig(num_inputs: usize, num_ands: usize, seed: u64) -> Aig {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut aig = Aig::new();
-        let mut pool: Vec<crate::aig::Lit> =
-            (0..num_inputs).map(|_| aig.add_input()).collect();
+        let mut pool: Vec<crate::aig::Lit> = (0..num_inputs).map(|_| aig.add_input()).collect();
         while aig.num_ands() < num_ands {
             let a = pool[rng.random_range(0..pool.len())];
             let b = pool[rng.random_range(0..pool.len())];

@@ -14,13 +14,7 @@ use std::collections::HashSet;
 
 /// Rewrites the AIG; `zero_cost` enables `-z` semantics.
 pub fn rewrite(aig: &Aig, zero_cost: bool) -> Aig {
-    let cuts = CutSet::compute(
-        aig,
-        CutConfig {
-            k: 4,
-            max_cuts: 8,
-        },
-    );
+    let cuts = CutSet::compute(aig, CutConfig { k: 4, max_cuts: 8 });
     let mut refs = aig.fanout_counts();
     let mut new = Aig::new();
     let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
@@ -52,11 +46,7 @@ pub fn rewrite(aig: &Aig, zero_cost: bool) -> Aig {
                 }
             }
             let tt = cut_function(aig, v, cut);
-            let leaves_new: Vec<Lit> = cut
-                .leaves()
-                .iter()
-                .map(|&l| map[l as usize])
-                .collect();
+            let leaves_new: Vec<Lit> = cut.leaves().iter().map(|&l| map[l as usize]).collect();
             let cp = new.checkpoint();
             let cand = build_from_tt(&mut new, &tt, &leaves_new);
             let added = (new.checkpoint() - cp) as isize;

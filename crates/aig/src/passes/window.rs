@@ -41,7 +41,7 @@ pub fn reconvergence_cut(aig: &Aig, root: Var, max_leaves: usize) -> Vec<Var> {
             if new_total as usize > max_leaves {
                 continue;
             }
-            if best.map_or(true, |(bc, _)| cost < bc) {
+            if best.is_none_or(|(bc, _)| cost < bc) {
                 best = Some((cost, i));
             }
         }

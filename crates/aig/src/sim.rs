@@ -134,13 +134,9 @@ impl SimVectors {
         let pa = &self.patterns[a.var() as usize];
         let pb = &self.patterns[b.var() as usize];
         let flip = a.is_complement() != b.is_complement();
-        pa.iter().zip(pb).all(|(&wa, &wb)| {
-            if flip {
-                wa == !wb
-            } else {
-                wa == wb
-            }
-        })
+        pa.iter()
+            .zip(pb)
+            .all(|(&wa, &wb)| if flip { wa == !wb } else { wa == wb })
     }
 }
 

@@ -110,7 +110,7 @@ proptest! {
                 // Check the truth table against simulation: for each
                 // pattern, node value must equal tt(leaf values).
                 let node_pat = sim.node_pattern(v);
-                for w in 0..2usize {
+                for (w, &word) in node_pat.iter().enumerate().take(2) {
                     for b in 0..64usize {
                         let mut idx = 0usize;
                         for (i, &leaf) in cut.leaves().iter().enumerate() {
@@ -118,7 +118,7 @@ proptest! {
                                 idx |= 1 << i;
                             }
                         }
-                        let expect = (node_pat[w] >> b) & 1 != 0;
+                        let expect = (word >> b) & 1 != 0;
                         prop_assert_eq!(tt.get_bit(idx), expect);
                     }
                 }

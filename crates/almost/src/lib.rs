@@ -43,10 +43,10 @@ pub mod security;
 
 pub use config::Scale;
 pub use multi_objective::{joint_search, JointResult, JointWeights};
-pub use rl::{reinforce, RecipePolicy, ReinforceConfig, ReinforceResult};
 pub use pipeline::{run_almost, AlmostConfig, AlmostOutcome};
 pub use ppa_opt::{resynthesis_search, PpaObjective, ResynthesisResult};
 pub use proxy::{accuracy_on_random_set, train_proxy, ProxyConfig, ProxyKind, ProxyModel};
 pub use recipe::{Recipe, SynthesisCache, RECIPE_LENGTH};
+pub use rl::{reinforce, RecipePolicy, ReinforceConfig, ReinforceResult};
 pub use sa::{anneal, SaConfig, SaTrace};
 pub use security::{generate_secure_recipe, SecurityResult};

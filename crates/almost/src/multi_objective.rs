@@ -92,7 +92,6 @@ pub fn joint_search(
         objective
     };
     let (best, _trace) = anneal(Recipe::resyn2(), &mut evaluate, sa);
-    drop(evaluate);
 
     // Recompute the final point for the selected recipe.
     let deployed = best.apply(&locked.aig);

@@ -92,7 +92,6 @@ pub fn resynthesis_search(
         value
     };
     let (best, _trace) = anneal(Recipe::resyn2(), &mut evaluate, sa);
-    drop(evaluate);
     let series = series.split_off(1.min(series.len()));
     let correlation = pearson(
         &series.iter().map(|p| p.accuracy).collect::<Vec<_>>(),
@@ -175,8 +174,7 @@ mod tests {
             ..SaConfig::default()
         };
         for objective in [PpaObjective::Delay, PpaObjective::Area] {
-            let result =
-                resynthesis_search(&locked, &proxy, objective, &baseline, &lib, &sa);
+            let result = resynthesis_search(&locked, &proxy, objective, &baseline, &lib, &sa);
             assert_eq!(result.series.len(), 4);
             for p in &result.series {
                 assert!(p.ratio > 0.0);

@@ -18,7 +18,7 @@ use crate::sa::{anneal, SaConfig};
 use almost_aig::Aig;
 use almost_attacks::subgraph::{extract_all_localities, SubgraphConfig, NUM_FEATURES};
 use almost_locking::{relock, LockedCircuit, Rll};
-use almost_ml::gin::{Graph, GinClassifier};
+use almost_ml::gin::{GinClassifier, Graph};
 use almost_ml::tape::softplus;
 use almost_ml::train::{train, TrainConfig};
 use rand::rngs::StdRng;

@@ -163,11 +163,7 @@ impl SynthesisCache {
         self.misses += recipe.len() - keep;
         self.steps.truncate(keep);
         for &pass in &recipe.passes()[keep..] {
-            let prev = self
-                .steps
-                .last()
-                .map(|(_, aig)| aig)
-                .unwrap_or(&self.base);
+            let prev = self.steps.last().map(|(_, aig)| aig).unwrap_or(&self.base);
             let next = pass.apply(prev);
             self.steps.push((pass, next));
         }

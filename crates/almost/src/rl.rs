@@ -61,7 +61,7 @@ impl RecipePolicy {
 
     /// Per-position probabilities.
     pub fn probabilities(&self) -> Vec<[f64; 7]> {
-        self.logits.iter().map(|row| softmax(row)).collect()
+        self.logits.iter().map(softmax).collect()
     }
 
     /// Samples a recipe.
@@ -109,7 +109,12 @@ impl RecipePolicy {
         let rows = self.probabilities();
         let h: f64 = rows
             .iter()
-            .map(|p| -p.iter().filter(|&&x| x > 0.0).map(|&x| x * x.ln()).sum::<f64>())
+            .map(|p| {
+                -p.iter()
+                    .filter(|&&x| x > 0.0)
+                    .map(|&x| x * x.ln())
+                    .sum::<f64>()
+            })
             .sum();
         h / self.logits.len().max(1) as f64
     }
@@ -178,8 +183,7 @@ pub fn reinforce(
             baseline = r;
             have_baseline = true;
         } else {
-            baseline = config.baseline_momentum * baseline
-                + (1.0 - config.baseline_momentum) * r;
+            baseline = config.baseline_momentum * baseline + (1.0 - config.baseline_momentum) * r;
         }
         let advantage = r - baseline;
 
@@ -190,9 +194,9 @@ pub fn reinforce(
                 .iter()
                 .position(|p| p == pass)
                 .expect("pass from alphabet");
-            for i in 0..7 {
+            for (i, &prob) in probs.iter().enumerate() {
                 let indicator = (i == action) as u8 as f64;
-                let grad_logp = indicator - probs[i];
+                let grad_logp = indicator - prob;
                 // Entropy gradient: −∂Σp·ln p/∂logit = −p (ln p + 1) +
                 // p Σ p (ln p + 1); use the simple surrogate of pulling
                 // logits toward uniform.
@@ -233,12 +237,7 @@ mod tests {
             ..ReinforceConfig::default()
         };
         let result = reinforce(
-            |r| {
-                r.passes()
-                    .iter()
-                    .filter(|p| **p == Pass::Balance)
-                    .count() as f64
-            },
+            |r| r.passes().iter().filter(|p| **p == Pass::Balance).count() as f64,
             &cfg,
         );
         let mode = result.policy.mode();
@@ -262,12 +261,7 @@ mod tests {
             ..ReinforceConfig::default()
         };
         let result = reinforce(
-            |r| {
-                r.passes()
-                    .iter()
-                    .filter(|p| **p == Pass::Rewrite)
-                    .count() as f64
-            },
+            |r| r.passes().iter().filter(|p| **p == Pass::Rewrite).count() as f64,
             &cfg,
         );
         assert!(result.policy.mean_entropy() < 7.0f64.ln());

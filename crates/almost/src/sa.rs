@@ -166,9 +166,8 @@ mod tests {
 
     #[test]
     fn best_series_is_monotone() {
-        let objective = |r: &Recipe| {
-            r.passes().iter().filter(|p| **p == Pass::Balance).count() as f64
-        };
+        let objective =
+            |r: &Recipe| r.passes().iter().filter(|p| **p == Pass::Balance).count() as f64;
         let (_, trace) = anneal(
             Recipe::new(vec![Pass::Balance; 10]),
             objective,

@@ -44,7 +44,6 @@ pub fn generate_secure_recipe(
     };
     let initial = Recipe::resyn2();
     let (best, trace) = anneal(initial, &mut evaluate, config);
-    drop(evaluate);
     // The first evaluation in `anneal` is the initial recipe; the series
     // therefore has iterations + 1 entries. Drop the initial point so the
     // series aligns with the trace (Fig. 4 starts at iteration 1).

@@ -13,20 +13,34 @@
 //! - [`Snapshot`] — SnapShot-style MLP over flattened localities (the
 //!   "classic tensor-based model" family the paper contrasts with OMLA).
 //!
-//! All attacks implement [`OracleLessAttack`] and are scored with the
+//! All of the above implement [`OracleLessAttack`] and are scored with the
 //! paper's metric: correctly predicted key bits / key size, unresolved
 //! bits counting as incorrect.
+//!
+//! The crate also implements the *oracle-guided* threat model the paper's
+//! baselines are measured against in the wider literature:
+//!
+//! - [`SatAttack`] — the HOST'15 SAT attack: a DIP loop over
+//!   key-conditioned miters with an activated-IC oracle, plus an
+//!   AppSAT-style approximate mode with iteration/conflict budgets and
+//!   random-query settlement. It implements [`OracleGuidedAttack`], and
+//!   [`report::render_report`] shows both threat models side by side.
 
 pub mod omla;
 pub mod redundancy;
 pub mod report;
+pub mod sat_attack;
 pub mod scope;
 pub mod snapshot;
 pub mod subgraph;
 
 pub use omla::{Omla, OmlaConfig};
 pub use redundancy::{Redundancy, RedundancyConfig};
-pub use report::{AttackOutcome, AttackTarget, OracleLessAttack};
+pub use report::{
+    render_report, AttackOutcome, AttackTarget, DipIteration, OracleAttackOutcome,
+    OracleGuidedAttack, OracleLessAttack,
+};
+pub use sat_attack::{SatAttack, SatAttackConfig, SatAttackMode, SatAttackRun};
 pub use scope::{Scope, ScopeConfig};
 pub use snapshot::{Snapshot, SnapshotConfig};
 pub use subgraph::{extract_all_localities, SubgraphConfig, NUM_FEATURES};

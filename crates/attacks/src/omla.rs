@@ -11,7 +11,7 @@ use crate::report::{AttackOutcome, AttackTarget, OracleLessAttack};
 use crate::subgraph::{extract_all_localities, SubgraphConfig, NUM_FEATURES};
 use almost_aig::{Aig, Script};
 use almost_locking::{relock, Rll};
-use almost_ml::gin::{Graph, GinClassifier};
+use almost_ml::gin::{GinClassifier, Graph};
 use almost_ml::train::{train, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -189,11 +189,13 @@ mod tests {
         let locked = Rll::new(16).lock(&base, &mut rng).expect("lockable");
         let omla = Omla::new(quick_config());
         let mut rng2 = StdRng::seed_from_u64(2);
-        let data =
-            omla.generate_training_data(&locked.aig, &Script::resyn2(), &mut rng2);
+        let data = omla.generate_training_data(&locked.aig, &Script::resyn2(), &mut rng2);
         assert_eq!(data.len(), 144);
         let positives = data.iter().filter(|g| g.label).count();
-        assert!(positives > 30 && positives < 114, "labels are mixed: {positives}");
+        assert!(
+            positives > 30 && positives < 114,
+            "labels are mixed: {positives}"
+        );
     }
 
     #[test]

@@ -76,8 +76,7 @@ impl Redundancy {
         let mut counts = [0usize; 2];
         for (i, value) in [false, true].into_iter().enumerate() {
             let specialised = apply_key(deployed, key_start + bit_offset, &[value]);
-            counts[i] =
-                self.count_untestable(&specialised, self.config.seed ^ bit_offset as u64);
+            counts[i] = self.count_untestable(&specialised, self.config.seed ^ bit_offset as u64);
         }
         match counts[0].cmp(&counts[1]) {
             std::cmp::Ordering::Less => Some(false),

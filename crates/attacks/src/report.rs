@@ -1,7 +1,10 @@
-//! Attack targets and outcome reporting.
+//! Attack targets and outcome reporting, for both threat models:
+//! oracle-less attacks ([`OracleLessAttack`], scored per key bit) and
+//! oracle-guided attacks ([`OracleGuidedAttack`], the SAT-attack family,
+//! which additionally consume an activated-IC [`Oracle`]).
 
 use almost_aig::{Aig, Script};
-use almost_locking::LockedCircuit;
+use almost_locking::{LockedCircuit, Oracle};
 
 /// Everything an oracle-less attacker sees: the deployed (synthesised)
 /// locked netlist and — per the paper's threat model — the defender's
@@ -88,6 +91,114 @@ pub trait OracleLessAttack {
     fn attack(&self, target: &AttackTarget) -> AttackOutcome;
 }
 
+/// One iteration of a DIP-driven attack loop (for per-iteration reporting).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DipIteration {
+    /// Cumulative distinguishing input patterns found after this iteration.
+    pub dip_count: usize,
+    /// Cumulative solver conflicts after this iteration.
+    pub conflicts: u64,
+    /// Oracle disagreements found while validating a settled candidate key
+    /// (`Some` only on approximate-mode settlement iterations).
+    pub settlement_mismatches: Option<usize>,
+}
+
+/// The outcome of an oracle-guided attack run.
+#[derive(Clone, Debug)]
+pub struct OracleAttackOutcome {
+    /// Attack name.
+    pub attack: String,
+    /// The recovered key (one bit per key input).
+    pub recovered: Vec<bool>,
+    /// True when the DIP loop terminated with an UNSAT miter — the
+    /// recovered key is then *provably* functionally correct.
+    pub proved_exact: bool,
+    /// True when the unlocked circuit was SAT-CEC-verified equivalent to
+    /// the deployed circuit under the true key.
+    pub functionally_correct: bool,
+    /// Per-iteration log of the DIP loop.
+    pub iterations: Vec<DipIteration>,
+    /// Oracle queries consumed (DIP responses plus validation queries).
+    pub oracle_queries: usize,
+    /// Bit-agreement with the ground-truth key. Distinct keys can be
+    /// functionally identical, so `functionally_correct` is the security
+    /// verdict; this is the paper-style scoreboard number.
+    pub accuracy: f64,
+    /// Wall-clock duration of the attack.
+    pub runtime: std::time::Duration,
+}
+
+impl OracleAttackOutcome {
+    /// Total DIPs found.
+    pub fn dip_count(&self) -> usize {
+        self.iterations.last().map_or(0, |it| it.dip_count)
+    }
+
+    /// The per-iteration DIP counts (approximate-mode reporting).
+    pub fn dip_counts(&self) -> Vec<usize> {
+        self.iterations.iter().map(|it| it.dip_count).collect()
+    }
+}
+
+/// An oracle-guided attack on logic locking: in addition to the deployed
+/// netlist it may query an activated chip.
+pub trait OracleGuidedAttack {
+    /// The attack's display name.
+    fn name(&self) -> &'static str;
+
+    /// Runs the attack against `target` using `oracle` for I/O queries,
+    /// and scores the recovered key against the ground truth in `target`.
+    fn attack_with_oracle(&self, target: &AttackTarget, oracle: &dyn Oracle)
+        -> OracleAttackOutcome;
+}
+
+/// Renders oracle-less and oracle-guided results as one table, the paper's
+/// "all attacks vs one defence" view.
+pub fn render_report(
+    oracle_less: &[AttackOutcome],
+    oracle_guided: &[OracleAttackOutcome],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:<14} {:>9} {:>7} {:>8}  notes",
+        "attack", "threat model", "accuracy", "DIPs", "queries"
+    );
+    for o in oracle_less {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<14} {:>8.2}% {:>7} {:>8}  {} unresolved bits",
+            o.attack,
+            "oracle-less",
+            o.accuracy * 100.0,
+            "-",
+            "-",
+            o.num_unresolved()
+        );
+    }
+    for o in oracle_guided {
+        let verdict = if o.proved_exact {
+            "exact (UNSAT proof)"
+        } else if o.functionally_correct {
+            "approximate, verified correct"
+        } else {
+            "approximate"
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:<14} {:>8.2}% {:>7} {:>8}  {verdict}, {:.1}s",
+            o.attack,
+            "oracle-guided",
+            o.accuracy * 100.0,
+            o.dip_count(),
+            o.oracle_queries,
+            o.runtime.as_secs_f64()
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +216,48 @@ mod tests {
     fn empty_key_scores_zero() {
         let out = AttackOutcome::score("test", vec![], &[]);
         assert_eq!(out.accuracy, 0.0);
+    }
+
+    fn sample_oracle_outcome() -> OracleAttackOutcome {
+        OracleAttackOutcome {
+            attack: "SAT".into(),
+            recovered: vec![true, false],
+            proved_exact: true,
+            functionally_correct: true,
+            iterations: vec![
+                DipIteration {
+                    dip_count: 1,
+                    conflicts: 4,
+                    settlement_mismatches: None,
+                },
+                DipIteration {
+                    dip_count: 3,
+                    conflicts: 9,
+                    settlement_mismatches: Some(0),
+                },
+            ],
+            oracle_queries: 3,
+            accuracy: 1.0,
+            runtime: std::time::Duration::from_millis(12),
+        }
+    }
+
+    #[test]
+    fn dip_counts_come_from_the_iteration_log() {
+        let out = sample_oracle_outcome();
+        assert_eq!(out.dip_count(), 3);
+        assert_eq!(out.dip_counts(), vec![1, 3]);
+    }
+
+    #[test]
+    fn combined_report_renders_both_threat_models() {
+        let less = AttackOutcome::score("OMLA", vec![Some(true), None], &[true, false]);
+        let guided = sample_oracle_outcome();
+        let table = render_report(&[less], &[guided]);
+        assert!(table.contains("oracle-less"));
+        assert!(table.contains("oracle-guided"));
+        assert!(table.contains("OMLA"));
+        assert!(table.contains("SAT"));
+        assert!(table.contains("exact (UNSAT proof)"));
     }
 }

@@ -39,9 +39,7 @@ impl Default for ScopeConfig {
 /// `take >= total`).
 pub(crate) fn sample_bits(total: usize, take: Option<usize>) -> Vec<usize> {
     match take {
-        Some(k) if k < total && k > 0 => {
-            (0..k).map(|i| i * total / k).collect()
-        }
+        Some(k) if k < total && k > 0 => (0..k).map(|i| i * total / k).collect(),
         _ => (0..total).collect(),
     }
 }

@@ -9,9 +9,9 @@ use almost_aig::{Aig, Script};
 use almost_locking::{relock, Rll};
 use almost_ml::gin::Graph;
 use almost_ml::nn::Linear;
+use almost_ml::optim::Adam;
 use almost_ml::tape::{sigmoid, Tape};
 use almost_ml::tensor::Matrix;
-use almost_ml::optim::Adam;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -169,12 +169,10 @@ impl Snapshot {
                 let grads: Vec<Matrix> = nodes
                     .iter()
                     .map(|&n| {
-                        tape.grad(n)
-                            .cloned()
-                            .unwrap_or_else(|| {
-                                let v = tape.value(n);
-                                Matrix::zeros(v.rows(), v.cols())
-                            })
+                        tape.grad(n).cloned().unwrap_or_else(|| {
+                            let v = tape.value(n);
+                            Matrix::zeros(v.rows(), v.cols())
+                        })
                     })
                     .collect();
                 let grad_refs: Vec<&Matrix> = grads.iter().collect();
@@ -202,12 +200,8 @@ impl OracleLessAttack for Snapshot {
         let model = self.train_model(&target.deployed, &target.recipe);
         let positions = target.key_positions();
         let dummy = vec![false; positions.len()];
-        let graphs = extract_all_localities(
-            &target.deployed,
-            &positions,
-            &dummy,
-            &self.config.subgraph,
-        );
+        let graphs =
+            extract_all_localities(&target.deployed, &positions, &dummy, &self.config.subgraph);
         let predicted: Vec<Option<bool>> = graphs
             .iter()
             .map(|g| Some(model.predict(g) >= 0.5))

@@ -22,16 +22,12 @@ fn main() {
         println!("\n{} (key {key_size}):", bench.name());
         println!("  iter  M*      M_resyn2  M_random");
         let mut series: Vec<Vec<f64>> = Vec::new();
-        for (i, kind) in [
-            ProxyKind::Adversarial,
-            ProxyKind::Resyn2,
-            ProxyKind::Random,
-        ]
-        .into_iter()
-        .enumerate()
+        for (i, kind) in [ProxyKind::Adversarial, ProxyKind::Resyn2, ProxyKind::Random]
+            .into_iter()
+            .enumerate()
         {
             let proxy = train_proxy(&locked, kind, &scale.proxy_config(0x41 + i as u64));
-            let sa = scale.sa_config(0xF16_4 + i as u64);
+            let sa = scale.sa_config(0xF164 + i as u64);
             let result = generate_secure_recipe(&locked, &proxy, &sa);
             // Iterations until the accuracy first dips within 2% of 0.5.
             let hit = result
@@ -47,14 +43,16 @@ fn main() {
                 kind.label(),
                 result.accuracy * 100.0,
                 result.recipe,
-                if hit <= sa.iterations { hit.to_string() } else { "never".into() }
+                if hit <= sa.iterations {
+                    hit.to_string()
+                } else {
+                    "never".into()
+                }
             );
         }
         let len = series.iter().map(Vec::len).max().unwrap_or(0);
         for it in 0..len {
-            let get = |s: &Vec<f64>| {
-                s.get(it).map(|a| format!("{a:.4}")).unwrap_or_default()
-            };
+            let get = |s: &Vec<f64>| s.get(it).map(|a| format!("{a:.4}")).unwrap_or_default();
             rows.push(vec![
                 bench.name().into(),
                 (it + 1).to_string(),

@@ -8,8 +8,7 @@
 
 use almost_bench::{banner, experiment_benchmarks, lock_benchmark, write_csv};
 use almost_core::{
-    generate_secure_recipe, resynthesis_search, train_proxy, PpaObjective, ProxyKind, Recipe,
-    Scale,
+    generate_secure_recipe, resynthesis_search, train_proxy, PpaObjective, ProxyKind, Recipe, Scale,
 };
 use almost_netlist::{analyze, map_aig, CellLibrary, MapConfig};
 
@@ -23,11 +22,7 @@ fn main() {
 
     for bench in experiment_benchmarks(scale, true) {
         let locked = lock_benchmark(bench, key_size);
-        let proxy = train_proxy(
-            &locked,
-            ProxyKind::Adversarial,
-            &scale.proxy_config(0xF15),
-        );
+        let proxy = train_proxy(&locked, ProxyKind::Adversarial, &scale.proxy_config(0xF15));
         let search = generate_secure_recipe(&locked, &proxy, &scale.sa_config(0xF15));
         let deployed = locked.clone().with_aig(search.recipe.apply(&locked.aig));
 

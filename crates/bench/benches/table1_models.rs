@@ -11,7 +11,10 @@ use almost_core::{accuracy_on_random_set, train_proxy, ProxyKind, Recipe, Scale}
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Table I: proxy-model accuracy (resyn2 vs random set)", scale);
+    banner(
+        "Table I: proxy-model accuracy (resyn2 vs random set)",
+        scale,
+    );
     println!(
         "{:<8} {:>4} {:<10} {:>8} {:>8}",
         "bench", "key", "model", "resyn2", "random"

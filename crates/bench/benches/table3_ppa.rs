@@ -11,7 +11,10 @@ use almost_netlist::{analyze, map_aig, CellLibrary, MapConfig};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Table III: PPA overhead of ALMOST vs locked baseline", scale);
+    banner(
+        "Table III: PPA overhead of ALMOST vs locked baseline",
+        scale,
+    );
     let lib = CellLibrary::nangate45();
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut area_ovh = Vec::new();
@@ -24,18 +27,16 @@ fn main() {
     for &key_size in scale.key_sizes() {
         for bench in experiment_benchmarks(scale, false) {
             let locked = lock_benchmark(bench, key_size);
-            let proxy = train_proxy(
-                &locked,
-                ProxyKind::Adversarial,
-                &scale.proxy_config(0x9A3),
-            );
+            let proxy = train_proxy(&locked, ProxyKind::Adversarial, &scale.proxy_config(0x9A3));
             let search = generate_secure_recipe(&locked, &proxy, &scale.sa_config(0x9A3));
             // Baseline: the locked netlist as the paper uses it (resyn2-
             // synthesised locked design).
             let base_aig = Recipe::resyn2().apply(&locked.aig);
             let almost_aig = search.recipe.apply(&locked.aig);
-            for (label, cfg) in [("-opt", MapConfig::no_opt()), ("+opt", MapConfig::extreme_opt())]
-            {
+            for (label, cfg) in [
+                ("-opt", MapConfig::no_opt()),
+                ("+opt", MapConfig::extreme_opt()),
+            ] {
                 let base_nl = map_aig(&base_aig, &lib, &cfg);
                 let base = analyze(&base_nl, &base_aig, &lib, 8, 3);
                 let alm_nl = map_aig(&almost_aig, &lib, &cfg);

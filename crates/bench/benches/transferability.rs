@@ -34,10 +34,7 @@ fn main() {
     let recipes = [("S1", &s1), ("S2", &s2)];
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut matrix = [[0.0f64; 2]; 2];
-    let deployments: Vec<_> = recipes
-        .iter()
-        .map(|(_, r)| r.apply(&locked.aig))
-        .collect();
+    let deployments: Vec<_> = recipes.iter().map(|(_, r)| r.apply(&locked.aig)).collect();
     let positions: Vec<usize> = locked.key_input_positions().collect();
 
     for (j, (model_name, recipe)) in recipes.iter().enumerate() {

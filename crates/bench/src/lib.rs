@@ -43,11 +43,9 @@ pub fn experiment_benchmarks(scale: Scale, figure: bool) -> Vec<IscasBenchmark> 
 /// Locks a benchmark with RLL deterministically (seed derived from the
 /// benchmark name and key size).
 pub fn lock_benchmark(bench: IscasBenchmark, key_size: usize) -> LockedCircuit {
-    let seed = bench
-        .name()
-        .bytes()
-        .fold(0xA105u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64))
-        ^ key_size as u64;
+    let seed = bench.name().bytes().fold(0xA105u64, |acc, b| {
+        acc.wrapping_mul(131).wrapping_add(b as u64)
+    }) ^ key_size as u64;
     let mut rng = StdRng::seed_from_u64(seed);
     let aig = bench.build();
     Rll::new(key_size)

@@ -296,8 +296,8 @@ mod tests {
             let ins: Vec<bool> = (0..4).map(|i| r >> i & 1 != 0).collect();
             let out = aig.eval(&ins);
             let first = (0..4).find(|&i| ins[i]);
-            for i in 0..4 {
-                assert_eq!(out[i], Some(i) == first, "r={r} i={i}");
+            for (i, &bit) in out.iter().enumerate().take(4) {
+                assert_eq!(bit, Some(i) == first, "r={r} i={i}");
             }
             assert_eq!(out[4], r != 0);
         }

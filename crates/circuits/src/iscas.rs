@@ -195,7 +195,7 @@ fn build_c432() -> Aig {
         .collect();
     let (grants, any) = priority_encoder(&mut aig, &masked);
     // Encode the 27 grants into a 5-bit channel id plus parity.
-    let mut id = vec![Lit::FALSE; 5];
+    let mut id = [Lit::FALSE; 5];
     for (i, &g) in grants.iter().enumerate() {
         for (b, slot) in id.iter_mut().enumerate() {
             if i >> b & 1 != 0 {
@@ -222,7 +222,7 @@ fn build_sec_corrector(seed: u64) -> Aig {
     // Six syndrome bits, each a parity over a random half of the data plus
     // one check bit.
     let mut syndromes = Vec::new();
-    for s in 0..6 {
+    for (s, &chk) in check.iter().enumerate().take(6) {
         let members: Vec<Lit> = data
             .iter()
             .enumerate()
@@ -230,7 +230,7 @@ fn build_sec_corrector(seed: u64) -> Aig {
             .map(|(_, &l)| l)
             .collect();
         let mut p = parity_tree(&mut aig, &members);
-        p = aig.xor(p, check[s]);
+        p = aig.xor(p, chk);
         syndromes.push(p);
     }
     // Correction: decode the syndrome and flip the indicated bit when the
@@ -267,8 +267,8 @@ fn build_c880() -> Aig {
     }
     aig.add_named_output(carry, "cout");
     aig.add_named_output(borrow, "bout");
-    for i in 0..16 {
-        aig.add_named_output(mixed[i], format!("y{i}"));
+    for (i, &m) in mixed.iter().enumerate().take(16) {
+        aig.add_named_output(m, format!("y{i}"));
     }
     aig
 }

@@ -14,6 +14,8 @@
 //!   additional key gates with *known* bits to manufacture training data).
 //! - [`apply_key`]: specialise a locked circuit under a key (the oracle
 //!   check used to validate locking correctness).
+//! - [`Oracle`] / [`CircuitOracle`]: the activated-IC black box of the
+//!   oracle-guided threat model (SAT attacks query it for correct outputs).
 //!
 //! # Example
 //!
@@ -32,12 +34,14 @@
 
 pub mod key;
 pub mod mux_lock;
+pub mod oracle;
 pub mod rll;
 pub mod scheme;
 pub mod specialize;
 
 pub use key::Key;
 pub use mux_lock::MuxLock;
+pub use oracle::{CircuitOracle, Oracle};
 pub use rll::Rll;
 pub use scheme::{relock, LockError, LockedCircuit, LockingScheme};
 pub use specialize::apply_key;

@@ -50,8 +50,7 @@ impl LockingScheme for MuxLock {
         let mut new = Aig::new();
         let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
         for i in 0..aig.num_inputs() {
-            map[aig.inputs()[i] as usize] =
-                new.add_named_input(aig.input_name(i).to_string());
+            map[aig.inputs()[i] as usize] = new.add_named_input(aig.input_name(i).to_string());
         }
         let key_input_start = new.num_inputs();
         let key_lits: Vec<Lit> = (0..self.key_size)

@@ -1,0 +1,140 @@
+//! The activated-IC oracle of the oracle-guided threat model.
+//!
+//! Oracle-guided attacks (the SAT attack family) assume the attacker holds
+//! a working, *activated* chip: a black box that maps functional inputs to
+//! correct outputs, with the key baked in and invisible. [`Oracle`] models
+//! that box; [`CircuitOracle`] is the standard instantiation — the locked
+//! design specialised under the correct key via [`apply_key`], i.e. the
+//! original function. Query counting is built in because oracle access is
+//! the scarce resource the attack literature reports.
+
+use crate::scheme::LockedCircuit;
+use crate::specialize::apply_key;
+use almost_aig::Aig;
+use std::cell::Cell;
+
+/// A black-box activated chip: functional inputs in, correct outputs out.
+pub trait Oracle {
+    /// Number of functional inputs (key inputs do not exist here).
+    fn num_inputs(&self) -> usize;
+
+    /// Number of outputs.
+    fn num_outputs(&self) -> usize;
+
+    /// Evaluates the chip on one input pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern.len() != self.num_inputs()`.
+    fn query(&self, pattern: &[bool]) -> Vec<bool>;
+
+    /// Total number of [`Oracle::query`] calls served.
+    fn queries_served(&self) -> usize;
+}
+
+/// An [`Oracle`] backed by a combinational circuit.
+///
+/// # Example
+///
+/// ```
+/// use almost_circuits::IscasBenchmark;
+/// use almost_locking::{CircuitOracle, LockingScheme, Oracle, Rll};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let design = IscasBenchmark::C432.build();
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let locked = Rll::new(8).lock(&design, &mut rng).expect("lockable");
+/// let oracle = CircuitOracle::from_locked(&locked);
+/// let pattern = vec![false; oracle.num_inputs()];
+/// assert_eq!(oracle.query(&pattern), design.eval(&pattern));
+/// assert_eq!(oracle.queries_served(), 1);
+/// ```
+pub struct CircuitOracle {
+    design: Aig,
+    queries: Cell<usize>,
+}
+
+impl CircuitOracle {
+    /// Wraps an already-unlocked design.
+    pub fn new(design: Aig) -> Self {
+        CircuitOracle {
+            design,
+            queries: Cell::new(0),
+        }
+    }
+
+    /// Builds the oracle an attacker faces: the locked circuit specialised
+    /// under its correct key (the activated chip's function).
+    pub fn from_locked(locked: &LockedCircuit) -> Self {
+        Self::new(apply_key(
+            &locked.aig,
+            locked.key_input_start,
+            locked.key.bits(),
+        ))
+    }
+
+    /// The underlying design (ground truth; attack *scoring* only — an
+    /// attacker never sees this netlist, only query responses).
+    pub fn design(&self) -> &Aig {
+        &self.design
+    }
+}
+
+impl Oracle for CircuitOracle {
+    fn num_inputs(&self) -> usize {
+        self.design.num_inputs()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.design.num_outputs()
+    }
+
+    fn query(&self, pattern: &[bool]) -> Vec<bool> {
+        self.queries.set(self.queries.get() + 1);
+        self.design.eval(pattern)
+    }
+
+    fn queries_served(&self) -> usize {
+        self.queries.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rll::Rll;
+    use crate::scheme::LockingScheme;
+    use almost_circuits::IscasBenchmark;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn oracle_answers_match_the_original_design() {
+        let design = IscasBenchmark::C432.build();
+        let mut rng = StdRng::seed_from_u64(17);
+        let locked = Rll::new(16).lock(&design, &mut rng).expect("lockable");
+        let oracle = CircuitOracle::from_locked(&locked);
+        assert_eq!(oracle.num_inputs(), design.num_inputs());
+        assert_eq!(oracle.num_outputs(), design.num_outputs());
+        for i in 0..8u64 {
+            let pattern: Vec<bool> = (0..design.num_inputs())
+                .map(|b| (i.wrapping_mul(0x9E37_79B9) >> (b % 32)) & 1 != 0)
+                .collect();
+            assert_eq!(oracle.query(&pattern), design.eval(&pattern));
+        }
+        assert_eq!(oracle.queries_served(), 8);
+    }
+
+    #[test]
+    fn query_counter_starts_at_zero() {
+        let mut design = Aig::new();
+        let a = design.add_input();
+        design.add_output(a);
+        let oracle = CircuitOracle::new(design);
+        assert_eq!(oracle.queries_served(), 0);
+        oracle.query(&[true]);
+        oracle.query(&[false]);
+        assert_eq!(oracle.queries_served(), 2);
+    }
+}

@@ -52,8 +52,7 @@ impl LockingScheme for Rll {
         let mut new = Aig::new();
         let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
         for i in 0..aig.num_inputs() {
-            map[aig.inputs()[i] as usize] =
-                new.add_named_input(aig.input_name(i).to_string());
+            map[aig.inputs()[i] as usize] = new.add_named_input(aig.input_name(i).to_string());
         }
         let key_input_start = new.num_inputs();
         let key_lits: Vec<Lit> = (0..self.key_size)
@@ -155,7 +154,10 @@ mod tests {
         let f = tiny.and(a, b);
         tiny.add_output(f);
         let err = Rll::new(8).lock(&tiny, &mut rng).expect_err("too small");
-        assert!(matches!(err, LockError::NotEnoughGates { available: 1, .. }));
+        assert!(matches!(
+            err,
+            LockError::NotEnoughGates { available: 1, .. }
+        ));
     }
 
     #[test]

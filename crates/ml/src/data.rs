@@ -59,9 +59,7 @@ mod tests {
 
     #[test]
     fn positive_fraction_counts() {
-        let g = |label| {
-            Graph::from_edges(1, &[], Matrix::zeros(1, 2), label)
-        };
+        let g = |label| Graph::from_edges(1, &[], Matrix::zeros(1, 2), label);
         let data = vec![g(true), g(false), g(true), g(true)];
         assert_eq!(positive_fraction(&data), 0.75);
         assert_eq!(positive_fraction(&[]), 0.0);

@@ -29,7 +29,12 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if an edge references a node outside `features`' rows.
-    pub fn from_edges(num_nodes: usize, edges: &[(usize, usize)], features: Matrix, label: bool) -> Self {
+    pub fn from_edges(
+        num_nodes: usize,
+        edges: &[(usize, usize)],
+        features: Matrix,
+        label: bool,
+    ) -> Self {
         assert_eq!(features.rows(), num_nodes);
         let mut adj = Matrix::identity(num_nodes);
         for &(u, v) in edges {

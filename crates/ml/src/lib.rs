@@ -36,7 +36,7 @@ pub mod tape;
 pub mod tensor;
 pub mod train;
 
-pub use gin::{Graph, GinClassifier};
+pub use gin::{GinClassifier, Graph};
 pub use optim::Adam;
 pub use tape::Tape;
 pub use tensor::Matrix;

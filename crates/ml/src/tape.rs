@@ -97,7 +97,9 @@ impl Tape {
 
     /// Adds a 1×cols bias row to every row of `a`.
     pub fn add_row_broadcast(&mut self, a: NodeId, row: NodeId) -> NodeId {
-        let v = self.nodes[a].value.add_row_broadcast(&self.nodes[row].value);
+        let v = self.nodes[a]
+            .value
+            .add_row_broadcast(&self.nodes[row].value);
         self.push(v, Op::AddRowBroadcast(a, row))
     }
 
@@ -179,10 +181,8 @@ impl Tape {
                 }
                 Op::MeanRows(a) => {
                     let n = self.nodes[a].value.rows().max(1);
-                    let mut ga = Matrix::zeros(
-                        self.nodes[a].value.rows(),
-                        self.nodes[a].value.cols(),
-                    );
+                    let mut ga =
+                        Matrix::zeros(self.nodes[a].value.rows(), self.nodes[a].value.cols());
                     for r in 0..ga.rows() {
                         for c in 0..ga.cols() {
                             ga.set(r, c, g.get(0, c) / n as f32);
@@ -244,11 +244,7 @@ mod tests {
     use super::*;
 
     /// Finite-difference gradient check for a scalar function of one leaf.
-    fn grad_check(
-        build: impl Fn(&mut Tape, NodeId) -> NodeId,
-        input: Matrix,
-        tolerance: f32,
-    ) {
+    fn grad_check(build: impl Fn(&mut Tape, NodeId) -> NodeId, input: Matrix, tolerance: f32) {
         // Analytic gradient.
         let mut tape = Tape::new();
         let x = tape.leaf(input.clone());

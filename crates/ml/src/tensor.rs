@@ -57,7 +57,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -313,7 +317,11 @@ mod tests {
     fn he_init_statistics() {
         let m = Matrix::he_init(64, 64, 7);
         let mean: f32 = m.data().iter().sum::<f32>() / (64.0 * 64.0);
-        let var: f32 = m.data().iter().map(|a| (a - mean) * (a - mean)).sum::<f32>()
+        let var: f32 = m
+            .data()
+            .iter()
+            .map(|a| (a - mean) * (a - mean))
+            .sum::<f32>()
             / (64.0 * 64.0);
         let expected_var = 2.0 / 64.0;
         assert!(mean.abs() < 0.02, "mean {mean}");

@@ -1,6 +1,6 @@
 //! Minibatch training loop for the GIN classifier.
 
-use crate::gin::{Graph, GinClassifier};
+use crate::gin::{GinClassifier, Graph};
 use crate::optim::Adam;
 use crate::tape::Tape;
 use crate::tensor::Matrix;
@@ -131,9 +131,7 @@ mod tests {
             .map(|_| {
                 let label = rng.random_bool(0.5);
                 let signal = if label { 1.0 } else { -1.0 };
-                let noise: Vec<f32> = (0..3)
-                    .map(|_| (rng.random::<f32>() - 0.5) * 0.2)
-                    .collect();
+                let noise: Vec<f32> = (0..3).map(|_| (rng.random::<f32>() - 0.5) * 0.2).collect();
                 let f = Matrix::from_rows(&[
                     &[signal + noise[0], 1.0],
                     &[signal + noise[1], 0.0],

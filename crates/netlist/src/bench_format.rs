@@ -38,7 +38,11 @@ impl ParseBenchError {
 
 impl fmt::Display for ParseBenchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bench parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "bench parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -103,7 +107,10 @@ pub fn parse_bench(text: &str) -> Result<Aig, ParseBenchError> {
                 line: lineno,
             });
         } else {
-            return Err(ParseBenchError::new(lineno, format!("unrecognised line `{line}`")));
+            return Err(ParseBenchError::new(
+                lineno,
+                format!("unrecognised line `{line}`"),
+            ));
         }
     }
 
@@ -211,12 +218,13 @@ pub fn write_bench(aig: &Aig) -> String {
     // Emit NOT gates on demand.
     let mut emitted_not: std::collections::HashSet<u32> = std::collections::HashSet::new();
     let mut body = String::new();
-    let require = |lit: Lit, aig: &Aig, body: &mut String, emitted: &mut std::collections::HashSet<u32>| {
-        if lit.is_complement() && lit.var() != 0 && emitted.insert(lit.var()) {
-            let pos = name_of(!lit, aig);
-            body.push_str(&format!("{} = NOT({})\n", name_of(lit, aig), pos));
-        }
-    };
+    let require =
+        |lit: Lit, aig: &Aig, body: &mut String, emitted: &mut std::collections::HashSet<u32>| {
+            if lit.is_complement() && lit.var() != 0 && emitted.insert(lit.var()) {
+                let pos = name_of(!lit, aig);
+                body.push_str(&format!("{} = NOT({})\n", name_of(lit, aig), pos));
+            }
+        };
 
     for v in aig.iter_ands() {
         let (a, b) = aig.and_fanins(v).expect("iterating ANDs");

@@ -155,6 +155,7 @@ impl CellLibrary {
     }
 
     /// The NanGate-45-flavoured default library.
+    #[allow(clippy::vec_init_then_push)] // one push per cell reads as a datasheet
     pub fn nangate45() -> Self {
         let v = |i: usize, n: usize| Tt::var(i, n);
         let mut cells = Vec::new();
@@ -166,12 +167,26 @@ impl CellLibrary {
         // Two-input cells.
         let a2 = v(0, 2);
         let b2 = v(1, 2);
-        cells.push(Cell::new("NAND2", a2.and(&b2).not(), 0.798, 0.010, 1.0, 2.0));
+        cells.push(Cell::new(
+            "NAND2",
+            a2.and(&b2).not(),
+            0.798,
+            0.010,
+            1.0,
+            2.0,
+        ));
         cells.push(Cell::new("NOR2", a2.or(&b2).not(), 0.798, 0.012, 1.2, 2.0));
         cells.push(Cell::new("AND2", a2.and(&b2), 1.064, 0.015, 1.0, 1.9));
         cells.push(Cell::new("OR2", a2.or(&b2), 1.064, 0.016, 1.0, 1.9));
         cells.push(Cell::new("XOR2", a2.xor(&b2), 1.596, 0.024, 2.0, 2.4));
-        cells.push(Cell::new("XNOR2", a2.xor(&b2).not(), 1.596, 0.024, 2.0, 2.4));
+        cells.push(Cell::new(
+            "XNOR2",
+            a2.xor(&b2).not(),
+            1.596,
+            0.024,
+            2.0,
+            2.4,
+        ));
         // Three-input cells.
         let a3 = v(0, 3);
         let b3 = v(1, 3);
@@ -404,9 +419,9 @@ mod tests {
         let matches = lib.matches_for(&f);
         assert!(!matches.is_empty());
         // AND2 must be among them without any flips.
-        assert!(matches.iter().any(|m| {
-            lib.cell(m.cell).name() == "AND2" && m.leaf_flips == 0 && !m.output_flip
-        }));
+        assert!(matches
+            .iter()
+            .any(|m| { lib.cell(m.cell).name() == "AND2" && m.leaf_flips == 0 && !m.output_flip }));
         // NAND2 with an output flip also matches.
         assert!(matches
             .iter()

@@ -108,12 +108,7 @@ pub fn map_aig(aig: &Aig, library: &CellLibrary, config: &MapConfig) -> MappedNe
                     let leaf = leaves[0];
                     let cost = flow[leaf as usize] + if flip { inv_area } else { 0.0 };
                     let arr = arrival[leaf as usize] + if flip { inv_delay } else { 0.0 };
-                    consider(
-                        &mut best,
-                        cost,
-                        arr,
-                        Choice::Wire { leaf, flip },
-                    );
+                    consider(&mut best, cost, arr, Choice::Wire { leaf, flip });
                     continue;
                 }
                 for m in library.matches_for(&ctt) {
@@ -123,9 +118,7 @@ pub fn map_aig(aig: &Aig, library: &CellLibrary, config: &MapConfig) -> MappedNe
                     for (li, &leaf) in leaves.iter().enumerate() {
                         let flip = m.leaf_flips >> li & 1 != 0;
                         cost += flow[leaf as usize] + if flip { inv_area } else { 0.0 };
-                        arr = arr.max(
-                            arrival[leaf as usize] + if flip { inv_delay } else { 0.0 },
-                        );
+                        arr = arr.max(arrival[leaf as usize] + if flip { inv_delay } else { 0.0 });
                     }
                     if m.output_flip {
                         // The positive polarity may need one more inverter;
@@ -200,7 +193,10 @@ fn measure_usage(aig: &Aig, choices: &[Option<Choice>]) -> Vec<f64> {
             continue;
         }
         visited[v as usize] = true;
-        match choices[v as usize].as_ref().expect("AND nodes have choices") {
+        match choices[v as usize]
+            .as_ref()
+            .expect("AND nodes have choices")
+        {
             Choice::Wire { leaf, .. } => {
                 usage[*leaf as usize] += 1.0;
                 stack.push(*leaf);
@@ -286,19 +282,16 @@ fn emit(aig: &Aig, library: &CellLibrary, choices: &[Option<Choice>]) -> MappedN
             let slot = want_one as usize;
             *tie_nets[slot].get_or_insert_with(|| {
                 let n = nl.add_net(None);
-                let cell = if want_one { library.tie1() } else { library.tie0() };
+                let cell = if want_one {
+                    library.tie1()
+                } else {
+                    library.tie0()
+                };
                 nl.add_gate(cell, vec![], n);
                 n
             })
         } else {
-            net_for(
-                &mut nl,
-                library,
-                &mut pos,
-                &mut neg,
-                v,
-                out.is_complement(),
-            )
+            net_for(&mut nl, library, &mut pos, &mut neg, v, out.is_complement())
         };
         nl.add_output_net(net);
     }
@@ -433,13 +426,7 @@ mod tests {
         aig.add_output(a);
         aig.add_output(!a);
         let nl = map_aig(&aig, &lib, &MapConfig::default());
-        assert_eq!(
-            nl.eval(&lib, &[true]),
-            vec![true, false, true, false]
-        );
-        assert_eq!(
-            nl.eval(&lib, &[false]),
-            vec![true, false, false, true]
-        );
+        assert_eq!(nl.eval(&lib, &[true]), vec![true, false, true, false]);
+        assert_eq!(nl.eval(&lib, &[false]), vec![true, false, false, true]);
     }
 }

@@ -143,7 +143,10 @@ mod tests {
         let r_l = analyze(&nl_l, &large, &lib, 4, 1);
         assert!(r_s.area > 0.0 && r_s.delay > 0.0 && r_s.power > 0.0);
         assert!(r_l.area > r_s.area, "a 16-bit adder is bigger than 4-bit");
-        assert!(r_l.delay > r_s.delay, "ripple carry grows the critical path");
+        assert!(
+            r_l.delay > r_s.delay,
+            "ripple carry grows the critical path"
+        );
         assert!(r_l.power > r_s.power);
     }
 

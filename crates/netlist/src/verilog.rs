@@ -89,7 +89,10 @@ mod tests {
         assert!(v.contains("input pi0;"));
         assert!(v.contains("output po1;"));
         // One instance per gate.
-        let instances = v.lines().filter(|l| l.trim_start().starts_with('u') || l.contains(" u")).count();
+        let instances = v
+            .lines()
+            .filter(|l| l.trim_start().starts_with('u') || l.contains(" u"))
+            .count();
         assert!(instances >= nl.num_gates());
     }
 

@@ -1,0 +1,45 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+
+/// A strategy producing `Vec`s of a fixed length drawn from an element
+/// strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    len: usize,
+}
+
+/// Generates vectors of exactly `len` elements from `element`.
+pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn pick(&self, state: &mut u64) -> Vec<S::Value> {
+        (0..self.len).map(|_| self.element.pick(state)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_length_vectors() {
+        let strat = vec(0u32..10, 12);
+        let mut state = 3u64;
+        let v = strat.pick(&mut state);
+        assert_eq!(v.len(), 12);
+        assert!(v.iter().all(|&x| x < 10));
+    }
+
+    #[test]
+    fn maps_compose_with_vectors() {
+        let strat = vec(-1.0f32..1.0, 6).prop_map(|data| data.iter().sum::<f32>());
+        let mut state = 4u64;
+        let total = strat.pick(&mut state);
+        assert!(total.abs() <= 6.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! A workspace-local property-testing shim.
+//!
+//! Hermetic build environments cannot fetch the real `proptest` crate, so
+//! this crate implements the subset the workspace's tests use: the
+//! [`proptest!`] macro over integer-range strategies, `ProptestConfig`
+//! case counts, and the `prop_assert!`/`prop_assert_eq!` assertion forms.
+//! Case generation is deterministic (seeded per test by the strategy
+//! expressions), so failures always reproduce.
+
+pub mod collection;
+pub mod strategy;
+
+/// Per-block configuration; only the case count is meaningful here.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 16 }
+    }
+}
+
+/// Failure raised by the `prop_assert*` macros; carries the rendered
+/// assertion message.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The glob-import surface used by test files.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+}
+
+/// Declares a block of property tests.
+///
+/// Each function's arguments are drawn from range strategies, `config.cases`
+/// times; the body may use `prop_assert!`-family macros, which abort just
+/// the failing case with a descriptive panic.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            // Derive a per-test seed from the test name so distinct
+            // properties explore distinct streams.
+            let mut __state: u64 = stringify!($name)
+                .bytes()
+                .fold(0x51AB_CD00u64, |acc, b| {
+                    acc.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64)
+                });
+            for __case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::pick(&($strategy), &mut __state);)*
+                let __args: ::std::vec::Vec<::std::string::String> = ::std::vec![
+                    $(::std::format!("{} = {:?}", stringify!($arg), $arg)),*
+                ];
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!(
+                        "property {} failed on case {}/{} ({}): {}",
+                        stringify!($name),
+                        __case + 1,
+                        config.cases,
+                        __args.join(", "),
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(::std::format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError(::std::format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError(::std::format!(
+                "{} (left: {:?}, right: {:?})",
+                ::std::format!($($fmt)*),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err($crate::TestCaseError(::std::format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u64..100, y in 5usize..9) {
+            prop_assert!(x < 100);
+            prop_assert!((5..9).contains(&y), "y = {} escaped", y);
+            prop_assert_eq!(y, y);
+            prop_assert_ne!(y + 1, y);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(v in 1u32..4) {
+            prop_assert!((1..4).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failures_panic_with_case_context() {
+        proptest! {
+            fn inner(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

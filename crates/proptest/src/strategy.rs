@@ -1,0 +1,168 @@
+//! Value-generation strategies.
+//!
+//! A strategy deterministically maps an evolving `u64` state to a value.
+//! Integer ranges are the only strategies the workspace's properties use;
+//! the first two cases of every range probe its boundaries (low, high-1)
+//! before switching to uniform draws, mirroring proptest's bias toward
+//! edge cases.
+
+/// A deterministic value source for one [`proptest!`](crate::proptest)
+/// argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws the next value, advancing `state`.
+    fn pick(&self, state: &mut u64) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn pick(&self, state: &mut u64) -> T {
+        (self.f)(self.inner.pick(state))
+    }
+}
+
+/// A full-domain strategy for `T`; build it with [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Generates any value of `T` (integers uniform over the domain, `bool`
+/// fair).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(state: &mut u64) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn pick(&self, state: &mut u64) -> T {
+        T::arbitrary(state)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(state: &mut u64) -> Self {
+                next(state) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(state: &mut u64) -> Self {
+        next(state) & 1 != 0
+    }
+}
+
+fn next(state: &mut u64) -> u64 {
+    // SplitMix64 step.
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn pick(&self, state: &mut u64) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                let draw = next(state);
+                // Bias the first draws of each stream toward the edges.
+                match draw % 8 {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => self.start.wrapping_add((draw % span) as $t),
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn pick(&self, state: &mut u64) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let unit = (next(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let span = self.end as f64 - self.start as f64;
+                (self.start as f64 + unit * span) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_stay_in_range() {
+        let mut state = 7u64;
+        for _ in 0..500 {
+            let v = (10u64..20).pick(&mut state);
+            assert!((10..20).contains(&v));
+            let w = (0usize..3).pick(&mut state);
+            assert!(w < 3);
+        }
+    }
+
+    #[test]
+    fn edges_are_probed() {
+        let mut state = 0u64;
+        let mut saw_low = false;
+        let mut saw_high = false;
+        for _ in 0..200 {
+            match (5u32..9).pick(&mut state) {
+                5 => saw_low = true,
+                8 => saw_high = true,
+                _ => {}
+            }
+        }
+        assert!(saw_low && saw_high);
+    }
+
+    #[test]
+    fn deterministic_given_state() {
+        let mut a = 99u64;
+        let mut b = 99u64;
+        for _ in 0..50 {
+            assert_eq!((0u64..1000).pick(&mut a), (0u64..1000).pick(&mut b));
+        }
+    }
+}

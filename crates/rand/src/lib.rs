@@ -1,0 +1,240 @@
+//! A workspace-local random-number shim.
+//!
+//! The workspace runs in hermetic environments with no access to crates.io,
+//! so this crate provides the small slice of the `rand` API the other crates
+//! use — [`RngExt`], [`SeedableRng`], [`rngs::StdRng`] and
+//! [`seq::SliceRandom`] — backed by a deterministic xoshiro256++ generator.
+//! Streams are reproducible across platforms and releases: every experiment
+//! seed in the workspace produces the same circuits, keys and training runs.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{RngExt, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let x: u64 = rng.random();
+//! let y: u64 = StdRng::seed_from_u64(7).random();
+//! assert_eq!(x, y);
+//! let p = rng.random_range(0..10usize);
+//! assert!(p < 10);
+//! ```
+
+pub mod rngs;
+pub mod seq;
+
+/// Types that can be sampled uniformly from an RNG's raw 64-bit output.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn generate<R: RngExt + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn generate<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn generate<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn generate<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn generate<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 != 0
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn generate<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn generate<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integer types usable with [`RngExt::random_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[low, high)`; `high > low` is the caller's
+    /// responsibility (checked by [`RngExt::random_range`]).
+    fn sample_below<R: RngExt + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_below<R: RngExt + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = (high as u64).wrapping_sub(low as u64);
+                // Debiased multiply-shift (Lemire); span is non-zero.
+                let mut m = (rng.next_u64() as u128) * (span as u128);
+                if (m as u64) < span {
+                    let t = span.wrapping_neg() % span;
+                    while (m as u64) < t {
+                        m = (rng.next_u64() as u128) * (span as u128);
+                    }
+                }
+                low.wrapping_add((m >> 64) as u64 as Self)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+/// A half-open or inclusive integer range accepted by
+/// [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws a value from the range.
+    fn sample_from<R: RngExt + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + WrappingStep> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngExt + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        T::sample_below(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + WrappingStep> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngExt + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample from an empty range");
+        // `end + 1` may wrap only when the range covers the whole domain,
+        // in which case a raw draw is uniform anyway.
+        let above = end.wrapping_next();
+        if above <= start {
+            return T::sample_below(start, end, rng); // degenerate full-domain
+        }
+        T::sample_below(start, above, rng)
+    }
+}
+
+/// Successor with wrap-around, for inclusive-range sampling.
+pub trait WrappingStep: Copy {
+    /// `self + 1`, wrapping at the domain boundary.
+    fn wrapping_next(self) -> Self;
+}
+
+macro_rules! impl_wrapping_step {
+    ($($t:ty),*) => {$(
+        impl WrappingStep for $t {
+            fn wrapping_next(self) -> Self {
+                self.wrapping_add(1)
+            }
+        }
+    )*};
+}
+
+impl_wrapping_step!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+/// The random-value interface: the `rand`-crate methods this workspace
+/// uses, provided on top of a single `next_u64` primitive.
+pub trait RngExt {
+    /// The raw 64-bit generator output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a uniformly random value of type `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::generate(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        self.random::<f64>() < p
+    }
+
+    /// Draws a uniform value from `range` (half-open or inclusive).
+    fn random_range<T, RA: SampleRange<T>>(&mut self, range: RA) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngExt + ?Sized> RngExt for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(0..=4u32);
+            assert!(w <= 4);
+            let s = rng.random_range(-5..5i64);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            let g: f32 = rng.random();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn range_draws_cover_small_domains() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[rng.random_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,90 @@
+//! Concrete generators.
+
+use crate::{RngExt, SeedableRng};
+
+/// The workspace's standard generator: xoshiro256++, seeded through
+/// SplitMix64 so that nearby `u64` seeds yield decorrelated streams.
+///
+/// # Example
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::{RngExt, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// assert_ne!(rng.next_u64(), rng.next_u64());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StdRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        StdRng { state }
+    }
+}
+
+impl RngExt for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ (Blackman & Vigna).
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut n = [s0, s1, s2, s3];
+        n[2] ^= n[0];
+        n[3] ^= n[1];
+        n[1] ^= n[2];
+        n[0] ^= n[3];
+        n[2] ^= t;
+        n[3] = n[3].rotate_left(45);
+        self.state = n;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_well_distributed() {
+        // Every byte position should take many distinct values over a
+        // short stream — a smoke test against degenerate seeding.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut counts = [0usize; 64];
+        for _ in 0..4096 {
+            let v = rng.next_u64();
+            for (b, count) in counts.iter_mut().enumerate() {
+                *count += (v >> b & 1) as usize;
+            }
+        }
+        for (b, &ones) in counts.iter().enumerate() {
+            assert!(
+                (1500..2600).contains(&ones),
+                "bit {b} is biased: {ones}/4096 ones"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_not_a_fixed_point() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_ne!(rng.next_u64(), 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Slice utilities.
+
+use crate::RngExt;
+
+/// Random reordering of slices.
+pub trait SliceRandom {
+    /// Shuffles the slice in place (Fisher–Yates).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rand::rngs::StdRng;
+    /// use rand::seq::SliceRandom;
+    /// use rand::SeedableRng;
+    ///
+    /// let mut v: Vec<u32> = (0..32).collect();
+    /// v.shuffle(&mut StdRng::seed_from_u64(9));
+    /// let mut sorted = v.clone();
+    /// sorted.sort_unstable();
+    /// assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+    /// ```
+    fn shuffle<R: RngExt + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngExt + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "identity is astronomically unlikely"
+        );
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_handles_tiny_slices() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut empty: [u32; 0] = [];
+        empty.shuffle(&mut rng);
+        let mut one = [7u32];
+        one.shuffle(&mut rng);
+        assert_eq!(one, [7]);
+    }
+}

@@ -26,6 +26,21 @@ pub enum Equivalence {
 ///
 /// Panics if the input or output counts differ.
 pub fn check_equivalence(a: &Aig, b: &Aig) -> Equivalence {
+    check_equivalence_limited(a, b, u64::MAX).expect("unlimited CEC always concludes")
+}
+
+/// Like [`check_equivalence`], but gives up after `max_conflicts` solver
+/// conflicts and returns `None` (undecided).
+///
+/// Arithmetic miters — the c6288-style multiplier above all — are
+/// exponentially hard for resolution, so callers that score rather than
+/// certify (attack reports, search loops) should bound the proof effort
+/// and fall back to simulation when the budget trips.
+///
+/// # Panics
+///
+/// Panics if the input or output counts differ.
+pub fn check_equivalence_limited(a: &Aig, b: &Aig, max_conflicts: u64) -> Option<Equivalence> {
     assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
     assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
     let mut solver = Solver::new();
@@ -42,14 +57,14 @@ pub fn check_equivalence(a: &Aig, b: &Aig) -> Equivalence {
         .collect();
     solver.add_clause(&diffs);
 
-    match solver.solve(&[]) {
-        SatResult::Unsat => Equivalence::Equivalent,
+    match solver.solve_limited(&[], max_conflicts)? {
+        SatResult::Unsat => Some(Equivalence::Equivalent),
         SatResult::Sat => {
             let pattern = inputs
                 .iter()
                 .map(|&v| solver.value(v).unwrap_or(false))
                 .collect();
-            Equivalence::Counterexample(pattern)
+            Some(Equivalence::Counterexample(pattern))
         }
     }
 }
@@ -125,7 +140,10 @@ mod tests {
     #[test]
     fn identical_circuits_are_equivalent() {
         let aig = random_aig(6, 40, 1);
-        assert_eq!(check_equivalence(&aig, &aig.clone()), Equivalence::Equivalent);
+        assert_eq!(
+            check_equivalence(&aig, &aig.clone()),
+            Equivalence::Equivalent
+        );
     }
 
     #[test]

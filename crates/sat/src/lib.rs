@@ -9,7 +9,13 @@
 //! The solver ([`solver::Solver`]) implements the standard modern recipe:
 //! two-watched-literal propagation, first-UIP conflict analysis with
 //! clause learning, VSIDS-style activity decision heuristics, phase saving,
-//! geometric restarts, and incremental solving under assumptions.
+//! geometric restarts, and incremental solving under assumptions — plus
+//! conflict-budgeted queries ([`solver::Solver::solve_limited`]) for
+//! approximate attacks.
+//!
+//! [`miter`] builds *key-conditioned* miters over locked circuits, the
+//! substrate of the oracle-guided SAT attack implemented in
+//! `almost-attacks`.
 //!
 //! # Example
 //!
@@ -28,7 +34,9 @@
 pub mod cnf;
 pub mod dimacs;
 pub mod equiv;
+pub mod miter;
 pub mod solver;
 
-pub use equiv::{check_equivalence, test_stuck_at, Equivalence};
+pub use equiv::{check_equivalence, check_equivalence_limited, test_stuck_at, Equivalence};
+pub use miter::{DipSearch, KeyMiter};
 pub use solver::{SatLit, SatResult, SatVar, Solver};

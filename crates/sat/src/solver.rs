@@ -160,7 +160,11 @@ impl Solver {
 
     /// Statistics: (decisions, propagations, conflicts).
     pub fn stats(&self) -> (u64, u64, u64) {
-        (self.num_decisions, self.num_propagations, self.num_conflicts)
+        (
+            self.num_decisions,
+            self.num_propagations,
+            self.num_conflicts,
+        )
     }
 
     fn lit_value(&self, lit: SatLit) -> Value {
@@ -213,9 +217,9 @@ impl Solver {
         match simplified.len() {
             0 => self.unsat = true,
             1 => {
-                if !self.enqueue(simplified[0], INVALID_CLAUSE) {
-                    self.unsat = true;
-                } else if self.propagate() != INVALID_CLAUSE {
+                if !self.enqueue(simplified[0], INVALID_CLAUSE)
+                    || self.propagate() != INVALID_CLAUSE
+                {
                     self.unsat = true;
                 }
             }
@@ -432,26 +436,48 @@ impl Solver {
     /// solver can be re-used: more clauses and further `solve` calls are
     /// allowed.
     pub fn solve(&mut self, assumptions: &[SatLit]) -> SatResult {
+        self.search(assumptions, u64::MAX)
+            .expect("unlimited search always concludes")
+    }
+
+    /// Like [`Solver::solve`], but gives up after `max_conflicts` conflicts,
+    /// returning `None`. The solver stays usable after a budget exhaustion:
+    /// learnt clauses are kept, and a later (larger-budget) call resumes the
+    /// proof effort.
+    ///
+    /// This is the primitive behind AppSAT-style *approximate* attacks,
+    /// which trade completeness for bounded per-query effort.
+    pub fn solve_limited(
+        &mut self,
+        assumptions: &[SatLit],
+        max_conflicts: u64,
+    ) -> Option<SatResult> {
+        self.search(assumptions, max_conflicts)
+    }
+
+    fn search(&mut self, assumptions: &[SatLit], max_conflicts: u64) -> Option<SatResult> {
         if self.unsat {
-            return SatResult::Unsat;
+            return Some(SatResult::Unsat);
         }
         self.cancel_until(0);
         if self.propagate() != INVALID_CLAUSE {
             self.unsat = true;
-            return SatResult::Unsat;
+            return Some(SatResult::Unsat);
         }
 
         let mut restart_limit = 100u64;
         let mut conflicts_since_restart = 0u64;
+        let mut conflicts_this_call = 0u64;
 
         loop {
             let conflict = self.propagate();
             if conflict != INVALID_CLAUSE {
                 self.num_conflicts += 1;
                 conflicts_since_restart += 1;
+                conflicts_this_call += 1;
                 if self.trail_lim.is_empty() {
                     self.unsat = true;
-                    return SatResult::Unsat;
+                    return Some(SatResult::Unsat);
                 }
                 // Conflicts below the assumption levels mean the assumptions
                 // are inconsistent with the formula; analyze() still works,
@@ -461,25 +487,37 @@ impl Solver {
                 // number of assumption levels as UNSAT-under-assumptions.
                 let (learnt, backjump) = self.analyze(conflict);
                 if (self.trail_lim.len() as u32) <= num_assumed_levels(assumptions, self) {
-                    return SatResult::Unsat;
+                    return Some(SatResult::Unsat);
                 }
-                let backjump = backjump.max(num_assumed_levels(assumptions, self));
-                self.cancel_until(backjump);
                 // Decay activities.
                 self.var_inc /= 0.95;
                 let asserting = learnt[0];
                 if learnt.len() == 1 {
-                    if !self.enqueue(asserting, INVALID_CLAUSE) {
+                    // A unit learnt must live at the root: enqueueing it at
+                    // an assumption level would leave a reason-less literal
+                    // above level 0, which a later conflict analysis cannot
+                    // resolve through. The main loop re-decides the
+                    // assumptions afterwards.
+                    self.cancel_until(0);
+                    if !self.enqueue(asserting, INVALID_CLAUSE)
+                        || self.propagate() != INVALID_CLAUSE
+                    {
                         self.unsat = true;
-                        return SatResult::Unsat;
+                        return Some(SatResult::Unsat);
                     }
                 } else {
+                    let backjump = backjump.max(num_assumed_levels(assumptions, self));
+                    self.cancel_until(backjump);
                     let idx = self.clauses.len() as u32;
                     self.watches[learnt[0].index()].push(idx);
                     self.watches[learnt[1].index()].push(idx);
                     self.clauses.push(learnt);
                     let ok = self.enqueue(asserting, idx);
                     debug_assert!(ok, "asserting literal must be enqueueable");
+                }
+                if conflicts_this_call >= max_conflicts {
+                    self.cancel_until(0);
+                    return None;
                 }
                 if conflicts_since_restart >= restart_limit {
                     conflicts_since_restart = 0;
@@ -501,7 +539,7 @@ impl Solver {
                         self.trail_lim.push(self.trail.len());
                         continue;
                     }
-                    Value::False => return SatResult::Unsat,
+                    Value::False => return Some(SatResult::Unsat),
                     Value::Unassigned => {
                         self.trail_lim.push(self.trail.len());
                         let ok = self.enqueue(a, INVALID_CLAUSE);
@@ -512,7 +550,7 @@ impl Solver {
             }
 
             match self.decide() {
-                None => return SatResult::Sat,
+                None => return Some(SatResult::Sat),
                 Some(lit) => {
                     self.num_decisions += 1;
                     self.trail_lim.push(self.trail.len());
@@ -626,6 +664,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // hole index j is clearest as written
     fn pigeonhole_3_into_2_is_unsat() {
         // p[i][j]: pigeon i in hole j; 3 pigeons, 2 holes.
         let mut s = Solver::new();
@@ -727,7 +766,11 @@ mod tests {
             let got = s.solve(&[]);
             assert_eq!(
                 got,
-                if bf_sat { SatResult::Sat } else { SatResult::Unsat },
+                if bf_sat {
+                    SatResult::Sat
+                } else {
+                    SatResult::Unsat
+                },
             );
             if got == SatResult::Sat {
                 // The model must satisfy every clause.
@@ -744,6 +787,7 @@ mod more_tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // hole index j is clearest as written
     fn pigeonhole_4_into_3_is_unsat() {
         let mut s = Solver::new();
         let mut p = vec![[SatLit::positive(0); 3]; 4];
@@ -792,9 +836,50 @@ mod more_tests {
         s.add_clause(&[a, !a]); // tautology: dropped
         assert_eq!(s.num_clauses(), before);
         s.add_clause(&[a, a]); // duplicates collapse to a unit
-        assert_eq!(s.num_clauses(), before, "unit clauses are enqueued, not stored");
+        assert_eq!(
+            s.num_clauses(),
+            before,
+            "unit clauses are enqueued, not stored"
+        );
         assert_eq!(s.solve(&[]), SatResult::Sat);
         assert_eq!(s.lit_bool(a), Some(true));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // hole index j is clearest as written
+    fn limited_solve_gives_up_and_resumes() {
+        // Pigeonhole 6-into-5 needs many conflicts; a 1-conflict budget must
+        // give up, and an unlimited retry on the same solver must finish.
+        let mut s = Solver::new();
+        let mut p = vec![[SatLit::positive(0); 5]; 6];
+        for row in p.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = SatLit::positive(s.new_var());
+            }
+        }
+        for row in &p {
+            s.add_clause(row);
+        }
+        for j in 0..5 {
+            for i1 in 0..6 {
+                for i2 in (i1 + 1)..6 {
+                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve_limited(&[], 1), None, "budget must be exhausted");
+        assert_eq!(s.solve_limited(&[], u64::MAX), Some(SatResult::Unsat));
+    }
+
+    #[test]
+    fn limited_solve_matches_solve_on_easy_instances() {
+        let mut s = Solver::new();
+        let a = SatLit::positive(s.new_var());
+        let b = SatLit::positive(s.new_var());
+        s.add_clause(&[a, b]);
+        assert_eq!(s.solve_limited(&[], 1000), Some(SatResult::Sat));
+        assert_eq!(s.solve_limited(&[!a, !b], 1000), Some(SatResult::Unsat));
+        assert_eq!(s.solve(&[]), SatResult::Sat);
     }
 
     #[test]

@@ -21,10 +21,7 @@ fn main() {
     let design = IscasBenchmark::C880.build();
     let mut rng = StdRng::seed_from_u64(0xE0A);
     let locked = Rll::new(32).lock(&design, &mut rng).expect("lockable");
-    println!(
-        "locked c880-profile with a 32-bit key: {:?}",
-        locked.key
-    );
+    println!("locked c880-profile with a 32-bit key: {:?}", locked.key);
 
     // Defender: adversarial proxy + recipe search.
     let proxy = train_proxy(&locked, ProxyKind::Adversarial, &scale.proxy_config(2));
@@ -60,7 +57,10 @@ fn main() {
     });
     let attacks: Vec<&dyn OracleLessAttack> = vec![&omla, &snapshot, &scope, &redundancy];
 
-    for (label, recipe) in [("resyn2", Recipe::resyn2()), ("ALMOST", search.recipe.clone())] {
+    for (label, recipe) in [
+        ("resyn2", Recipe::resyn2()),
+        ("ALMOST", search.recipe.clone()),
+    ] {
         println!("\n--- defence: {label} ---");
         let target = AttackTarget::new(locked.clone(), recipe.as_script());
         for attack in &attacks {

@@ -34,7 +34,11 @@ fn main() {
     let outcome = run_almost(&design, &config).expect("c1355 absorbs 32 key gates");
 
     println!("key:            {:?}", outcome.locked.key);
-    println!("S_ALMOST:       {} ({})", outcome.recipe, outcome.recipe.as_script());
+    println!(
+        "S_ALMOST:       {} ({})",
+        outcome.recipe,
+        outcome.recipe.as_script()
+    );
     println!(
         "deployed:       {} AND nodes (locked had {})",
         outcome.deployed.num_ands(),

@@ -1,0 +1,109 @@
+//! Oracle-guided SAT attack demo: recover a 32-bit RLL key on the c1355
+//! profile with the DIP loop, prove the recovery with SAT CEC against the
+//! unlocked design, then show the AppSAT-style approximate mode and its
+//! per-iteration DIP counts.
+//!
+//! ```sh
+//! cargo run --release --example sat_attack
+//! ```
+//!
+//! This is the attack the ALMOST threat model explicitly excludes (no
+//! oracle access) — and the reason it must: with an activated chip in
+//! hand, RLL falls in seconds regardless of the synthesis recipe.
+
+use almost_repro::aig::Script;
+use almost_repro::attacks::{
+    render_report, AttackTarget, OracleGuidedAttack, SatAttack, SatAttackConfig,
+};
+use almost_repro::circuits::IscasBenchmark;
+use almost_repro::locking::{apply_key, CircuitOracle, LockingScheme, Oracle, Rll};
+use almost_repro::sat::{check_equivalence, Equivalence};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let design = IscasBenchmark::C1355.build();
+    let mut rng = StdRng::seed_from_u64(0x1355);
+    let locked = Rll::new(32).lock(&design, &mut rng).expect("lockable");
+    println!(
+        "c1355 profile: {} inputs / {} outputs / {} AND nodes",
+        design.num_inputs(),
+        design.num_outputs(),
+        design.num_ands()
+    );
+    println!("locked with RLL, 32-bit key: {:?}", locked.key);
+
+    // The attacker sees the synthesised netlist and holds an activated chip.
+    let target = AttackTarget::new(locked, Script::resyn2());
+    let oracle = CircuitOracle::from_locked(&target.locked);
+    println!(
+        "deployed (resyn2): {} AND nodes\n",
+        target.deployed.num_ands()
+    );
+
+    // --- Exact mode: run the DIP loop to the UNSAT proof. ---
+    let started = Instant::now();
+    let outcome = SatAttack::exact().attack_with_oracle(&target, &oracle);
+    let elapsed = started.elapsed();
+    println!("exact SAT attack:");
+    println!("  DIPs found:        {}", outcome.dip_count());
+    println!("  oracle queries:    {}", outcome.oracle_queries);
+    println!("  UNSAT proof:       {}", outcome.proved_exact);
+    println!("  key-bit agreement: {:.1}%", outcome.accuracy * 100.0);
+    println!("  wall time:         {elapsed:?}");
+    assert!(outcome.proved_exact, "exact mode must finish with a proof");
+
+    // Independent verification: unlock the deployed netlist with the
+    // recovered key and SAT-CEC it against the original design.
+    let unlocked = apply_key(
+        &target.deployed,
+        target.locked.key_input_start,
+        &outcome.recovered,
+    );
+    match check_equivalence(&design, &unlocked) {
+        Equivalence::Equivalent => {
+            println!("  SAT CEC:           recovered key ≡ original design ✔")
+        }
+        Equivalence::Counterexample(cex) => {
+            panic!("recovered key is wrong on input {cex:?}")
+        }
+    }
+    assert!(
+        elapsed.as_secs() < 60,
+        "the 32-bit c1355 attack must finish in under 60 s (took {elapsed:?})"
+    );
+
+    // --- Approximate mode: budgeted DIP loop with random settlement. ---
+    let approx_oracle = CircuitOracle::from_locked(&target.locked);
+    let approx = SatAttack::new(SatAttackConfig::approximate(6, 200));
+    let approx_outcome = approx.attack_with_oracle(&target, &approx_oracle);
+    println!("\napproximate (AppSAT-style) attack, per-iteration DIP counts:");
+    for (i, it) in approx_outcome.iterations.iter().enumerate() {
+        match it.settlement_mismatches {
+            Some(m) => println!(
+                "  iter {:>2}: {:>3} DIPs, {:>6} conflicts, settlement with {m} mismatches",
+                i + 1,
+                it.dip_count,
+                it.conflicts
+            ),
+            None => println!(
+                "  iter {:>2}: {:>3} DIPs, {:>6} conflicts",
+                i + 1,
+                it.dip_count,
+                it.conflicts
+            ),
+        }
+    }
+    println!(
+        "  candidate key functionally correct: {}",
+        approx_outcome.functionally_correct
+    );
+
+    println!("\ncombined attack report:");
+    print!("{}", render_report(&[], &[outcome, approx_outcome]));
+    println!(
+        "(oracle served {} queries in total for the approximate run)",
+        approx_oracle.queries_served()
+    );
+}

@@ -28,7 +28,12 @@ fn main() {
     println!("{:<14} {:>7} {:>7}", "pass", "ANDs", "depth");
     for pass in Pass::ALL {
         let out = pass.apply(&aig);
-        println!("{:<14} {:>7} {:>7}", pass.command(), out.num_ands(), out.depth());
+        println!(
+            "{:<14} {:>7} {:>7}",
+            pass.command(),
+            out.num_ands(),
+            out.depth()
+        );
     }
 
     println!("\nrecipes (with mapped PPA):");

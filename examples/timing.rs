@@ -1,0 +1,48 @@
+//! Synthesis and backend timing: run `resyn2` on the larger benchmark
+//! profiles, map the result onto the NanGate-45-flavoured cell library,
+//! and report wall time next to the mapped PPA numbers.
+//!
+//! ```sh
+//! cargo run --release --example timing
+//! ```
+
+use almost_repro::almost::Recipe;
+use almost_repro::circuits::IscasBenchmark;
+use almost_repro::netlist::{analyze, map_aig, CellLibrary, MapConfig};
+use std::time::Instant;
+
+fn main() {
+    let lib = CellLibrary::nangate45();
+    println!(
+        "{:<8} {:>7} {:>7} {:>10} {:>10} {:>9} {:>8} {:>9}",
+        "bench", "ANDs", "resyn2", "synth", "map", "area", "delay", "power"
+    );
+    for b in [
+        IscasBenchmark::C1355,
+        IscasBenchmark::C5315,
+        IscasBenchmark::C7552,
+    ] {
+        let aig = b.build();
+        let t_synth = Instant::now();
+        let out = Recipe::resyn2().apply(&aig);
+        let synth_time = t_synth.elapsed();
+
+        let t_map = Instant::now();
+        let netlist = map_aig(&out, &lib, &MapConfig::default());
+        let report = analyze(&netlist, &out, &lib, 8, 1);
+        let map_time = t_map.elapsed();
+
+        println!(
+            "{:<8} {:>7} {:>7} {:>10.1?} {:>10.1?} {:>9.1} {:>8.3} {:>9.3}",
+            b.name(),
+            aig.num_ands(),
+            out.num_ands(),
+            synth_time,
+            map_time,
+            report.area,
+            report.delay,
+            report.power
+        );
+    }
+    println!("\n(area in µm², delay in ns, power in arbitrary units — mapped PPA, not AIG size)");
+}

@@ -4,14 +4,23 @@
 //! examples and downstream users can depend on one crate:
 //!
 //! - [`aig`] — and-inverter-graph synthesis substrate (mini-ABC).
-//! - [`sat`] — CDCL SAT solver used for equivalence checking and ATPG.
+//! - [`sat`] — CDCL SAT solver used for equivalence checking, ATPG, and
+//!   the key-conditioned miters of oracle-guided attacks.
 //! - [`netlist`] — cell library, technology mapping, and PPA analysis.
 //! - [`circuits`] — ISCAS85-profile benchmark circuit generators.
-//! - [`locking`] — random logic locking (RLL), bubble pushing, re-locking.
+//! - [`locking`] — random logic locking (RLL), bubble pushing, re-locking,
+//!   and the activated-IC oracle interface.
 //! - [`ml`] — dense tensors, reverse-mode autodiff, GIN layers, Adam.
-//! - [`attacks`] — oracle-less attacks: OMLA, SCOPE, redundancy, SnapShot.
+//! - [`attacks`] — oracle-less attacks (OMLA, SCOPE, redundancy, SnapShot)
+//!   and the oracle-guided SAT attack (DIP loop, AppSAT-style approximate
+//!   mode).
 //! - [`almost`] — the ALMOST framework: recipes, simulated annealing,
 //!   adversarial proxy-model training, security-aware synthesis.
+//!
+//! The two threat models meet in `attacks::report`: oracle-less attacks
+//! are scored per key bit, oracle-guided attacks report DIP counts,
+//! oracle queries and an UNSAT-proof/CEC verdict, and
+//! [`attacks::render_report`] shows them side by side.
 //!
 //! # Quickstart
 //!

@@ -1,9 +1,7 @@
 //! End-to-end ALMOST pipeline integration tests (scaled down to stay
 //! test-suite friendly).
 
-use almost_repro::almost::{
-    run_almost, AlmostConfig, ProxyConfig, ProxyKind, Recipe, SaConfig,
-};
+use almost_repro::almost::{run_almost, AlmostConfig, ProxyConfig, ProxyKind, Recipe, SaConfig};
 use almost_repro::attacks::{AttackTarget, Omla, OmlaConfig, OracleLessAttack, SubgraphConfig};
 use almost_repro::circuits::IscasBenchmark;
 use almost_repro::locking::apply_key;
@@ -52,7 +50,10 @@ fn pipeline_preserves_function_sat_proved() {
         outcome.locked.key_input_start,
         outcome.locked.key.bits(),
     );
-    assert_eq!(check_equivalence(&design, &restored), Equivalence::Equivalent);
+    assert_eq!(
+        check_equivalence(&design, &restored),
+        Equivalence::Equivalent
+    );
 }
 
 #[test]
@@ -77,8 +78,8 @@ fn omla_recovers_keys_without_synthesis_defence() {
     // highly vulnerable to OMLA (the paper's premise).
     let design = IscasBenchmark::C880.build();
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-    use rand::SeedableRng;
     use almost_repro::locking::{LockingScheme, Rll};
+    use rand::SeedableRng;
     let locked = Rll::new(32).lock(&design, &mut rng).expect("lockable");
     let target = AttackTarget::new(locked, almost_repro::aig::Script::new());
     let omla = Omla::new(OmlaConfig {

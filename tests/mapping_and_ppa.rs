@@ -27,7 +27,11 @@ fn mapping_agrees_with_aig_on_all_benchmarks() {
 #[test]
 fn extreme_opt_reduces_or_matches_area() {
     let lib = CellLibrary::nangate45();
-    for bench in [IscasBenchmark::C432, IscasBenchmark::C1355, IscasBenchmark::C1908] {
+    for bench in [
+        IscasBenchmark::C432,
+        IscasBenchmark::C1355,
+        IscasBenchmark::C1908,
+    ] {
         let aig = bench.build();
         let plain = map_aig(&aig, &lib, &MapConfig::no_opt());
         let opt = map_aig(&aig, &lib, &MapConfig::extreme_opt());
@@ -55,7 +59,12 @@ fn ppa_reports_are_consistent_across_seeds() {
     assert_eq!(a.area, b.area);
     assert_eq!(a.delay, b.delay);
     let rel = (a.power - b.power).abs() / a.power.max(1e-9);
-    assert!(rel < 0.05, "power estimate unstable: {} vs {}", a.power, b.power);
+    assert!(
+        rel < 0.05,
+        "power estimate unstable: {} vs {}",
+        a.power,
+        b.power
+    );
 }
 
 #[test]
