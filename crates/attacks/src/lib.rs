@@ -25,7 +25,15 @@
 //!   AppSAT-style approximate mode with iteration/conflict budgets and
 //!   random-query settlement. It implements [`OracleGuidedAttack`], and
 //!   [`report::render_report`] shows both threat models side by side.
+//! - [`DoubleDip`] — the GLSVLSI'17 2-DIP attack that strips
+//!   point-function defences (`almost_locking::SarLock`,
+//!   `almost_locking::AntiSat`): each accepted input is guaranteed to
+//!   eliminate at least two wrong keys, so one-key-per-input flips can
+//!   never stall it and the base scheme's key is recovered.
+//!   [`report::render_dip_scaling`] prints the family's defence metric —
+//!   DIPs required versus the `2^k` exhaustion ceiling.
 
+pub mod double_dip;
 pub mod omla;
 pub mod redundancy;
 pub mod report;
@@ -34,11 +42,12 @@ pub mod scope;
 pub mod snapshot;
 pub mod subgraph;
 
+pub use double_dip::{DoubleDip, DoubleDipConfig, DoubleDipRun};
 pub use omla::{Omla, OmlaConfig};
 pub use redundancy::{Redundancy, RedundancyConfig};
 pub use report::{
-    render_report, AttackOutcome, AttackTarget, DipIteration, OracleAttackOutcome,
-    OracleGuidedAttack, OracleLessAttack,
+    dip_log_consistent, render_dip_scaling, render_report, AttackOutcome, AttackTarget,
+    DipIteration, DipScalingRow, OracleAttackOutcome, OracleGuidedAttack, OracleLessAttack,
 };
 pub use sat_attack::{SatAttack, SatAttackConfig, SatAttackMode, SatAttackRun};
 pub use scope::{Scope, ScopeConfig};

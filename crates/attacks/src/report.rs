@@ -98,9 +98,50 @@ pub struct DipIteration {
     pub dip_count: usize,
     /// Cumulative solver conflicts after this iteration.
     pub conflicts: u64,
+    /// Cumulative oracle queries *issued by the attack* after this
+    /// iteration. Counted independently of [`Oracle::queries_served`] so
+    /// the two ledgers reconcile — [`dip_log_consistent`] is the audit.
+    pub oracle_queries: usize,
     /// Oracle disagreements found while validating a settled candidate key
     /// (`Some` only on approximate-mode settlement iterations).
     pub settlement_mismatches: Option<usize>,
+}
+
+/// Audits a DIP-loop iteration log against the attack's reported oracle
+/// query total:
+///
+/// 1. a DIP iteration adds exactly one DIP and one oracle query;
+/// 2. a settlement iteration adds exactly its mismatch count to the DIP
+///    ledger and at least that many validation queries;
+/// 3. the final cumulative query count equals `total_queries`.
+///
+/// Every attack run asserts this in debug builds; the regression tests
+/// assert it unconditionally so iteration-accounting drift cannot land.
+pub fn dip_log_consistent(iterations: &[DipIteration], total_queries: usize) -> bool {
+    let mut dips = 0usize;
+    let mut queries = 0usize;
+    for it in iterations {
+        match it.settlement_mismatches {
+            None => {
+                dips += 1;
+                queries += 1;
+                if it.oracle_queries != queries {
+                    return false;
+                }
+            }
+            Some(m) => {
+                dips += m;
+                if it.oracle_queries < queries + m {
+                    return false;
+                }
+                queries = it.oracle_queries;
+            }
+        }
+        if it.dip_count != dips {
+            return false;
+        }
+    }
+    queries == total_queries
 }
 
 /// The outcome of an oracle-guided attack run.
@@ -137,6 +178,68 @@ impl OracleAttackOutcome {
     /// The per-iteration DIP counts (approximate-mode reporting).
     pub fn dip_counts(&self) -> Vec<usize> {
         self.iterations.iter().map(|it| it.dip_count).collect()
+    }
+
+    /// True when the per-iteration DIP log reconciles with the reported
+    /// oracle query count (see [`dip_log_consistent`]).
+    pub fn accounting_consistent(&self) -> bool {
+        dip_log_consistent(&self.iterations, self.oracle_queries)
+    }
+}
+
+/// Conflict budget for the scoreboard CEC in oracle-guided scoring; past
+/// it, scoring falls back to the random-simulation verdict (the attack
+/// result itself is unaffected). Arithmetic circuits (the c6288
+/// multiplier) make full CEC exponentially hard and a scoreboard entry
+/// must never hang a harness.
+const CEC_SCORING_CONFLICTS: u64 = 50_000;
+
+/// Scores a finished oracle-guided run against the ground truth in
+/// `target`: bit agreement for the scoreboard, simulation + budgeted SAT
+/// CEC for the functional verdict. Shared by every [`OracleGuidedAttack`]
+/// so all rows of a report are judged identically.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn score_oracle_run(
+    attack: String,
+    target: &AttackTarget,
+    recovered: Vec<bool>,
+    proved_exact: bool,
+    iterations: Vec<DipIteration>,
+    oracle_queries: usize,
+    runtime: std::time::Duration,
+    sim_seed: u64,
+) -> OracleAttackOutcome {
+    use almost_aig::sim::probably_equivalent;
+    use almost_sat::{check_equivalence_limited, Equivalence};
+
+    let truth = target.locked.key.bits();
+    let agreement = truth.iter().zip(&recovered).filter(|(t, r)| t == r).count();
+    let accuracy = if truth.is_empty() {
+        0.0
+    } else {
+        agreement as f64 / truth.len() as f64
+    };
+    let key_start = target.locked.key_input_start;
+    let unlocked = almost_locking::apply_key(&target.deployed, key_start, &recovered);
+    let reference = almost_locking::apply_key(&target.deployed, key_start, truth);
+    // 4096-pattern simulation refutes grossly wrong keys immediately; a
+    // conflict-bounded CEC upgrades agreement to a proof where feasible
+    // (and is what catches point-function keys wrong on one pattern).
+    let functionally_correct = probably_equivalent(&unlocked, &reference, 64, sim_seed)
+        && match check_equivalence_limited(&unlocked, &reference, CEC_SCORING_CONFLICTS) {
+            Some(verdict) => verdict == Equivalence::Equivalent,
+            None => true,
+        };
+
+    OracleAttackOutcome {
+        attack,
+        recovered,
+        proved_exact,
+        functionally_correct,
+        iterations,
+        oracle_queries,
+        accuracy,
+        runtime,
     }
 }
 
@@ -199,6 +302,56 @@ pub fn render_report(
     out
 }
 
+/// One row of the DIP-count-vs-key-size table: how many DIPs an attack
+/// spent on a scheme at a given security parameter, against the `2^k`
+/// exhaustion ceiling.
+#[derive(Clone, Debug)]
+pub struct DipScalingRow {
+    /// Locking scheme (e.g. "SARLock", "Anti-SAT", "SARLock+RLL").
+    pub scheme: String,
+    /// Attack name (e.g. "SAT", "DoubleDIP").
+    pub attack: String,
+    /// The scheme's security parameter `k` (point-function width for the
+    /// SAT-resilient family, key bits for RLL).
+    pub key_size: usize,
+    /// DIPs consumed by the attack.
+    pub dips: usize,
+    /// Whether the attack finished inside its budget (an exhausted budget
+    /// is the *defence* succeeding).
+    pub finished: bool,
+    /// Whether the recovered key was functionally correct (for
+    /// point-function schemes, Double-DIP keys are correct up to the
+    /// stripped one-input flip, so this reports the *base* verdict the
+    /// caller computed).
+    pub correct: bool,
+}
+
+/// Renders DIP-count-vs-key-size rows — the defence metric of the
+/// SAT-resilient locking family (DIPs required, not attack accuracy).
+pub fn render_dip_scaling(rows: &[DipScalingRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:<10} {:>4} {:>7} {:>6} {:>9} {:>8}",
+        "scheme", "attack", "k", "DIPs", "2^k", "finished", "correct"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<14} {:<10} {:>4} {:>7} {:>6} {:>9} {:>8}",
+            r.scheme,
+            r.attack,
+            r.key_size,
+            r.dips,
+            1usize << r.key_size.min(63),
+            r.finished,
+            r.correct
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,15 +381,17 @@ mod tests {
                 DipIteration {
                     dip_count: 1,
                     conflicts: 4,
+                    oracle_queries: 1,
                     settlement_mismatches: None,
                 },
                 DipIteration {
                     dip_count: 3,
                     conflicts: 9,
-                    settlement_mismatches: Some(0),
+                    oracle_queries: 9,
+                    settlement_mismatches: Some(2),
                 },
             ],
-            oracle_queries: 3,
+            oracle_queries: 9,
             accuracy: 1.0,
             runtime: std::time::Duration::from_millis(12),
         }
@@ -247,6 +402,64 @@ mod tests {
         let out = sample_oracle_outcome();
         assert_eq!(out.dip_count(), 3);
         assert_eq!(out.dip_counts(), vec![1, 3]);
+    }
+
+    #[test]
+    fn dip_log_audit_accepts_consistent_and_rejects_drifted_logs() {
+        let good = sample_oracle_outcome();
+        assert!(good.accounting_consistent());
+
+        // Drift 1: a DIP iteration that forgot to count its oracle query.
+        let mut bad = sample_oracle_outcome();
+        bad.iterations[0].oracle_queries = 0;
+        assert!(!bad.accounting_consistent());
+
+        // Drift 2: a settlement whose DIP ledger skips a mismatch.
+        let mut bad = sample_oracle_outcome();
+        bad.iterations[1].dip_count = 2;
+        assert!(!bad.accounting_consistent());
+
+        // Drift 3: reported total disagrees with the per-iteration log.
+        let bad = sample_oracle_outcome();
+        assert!(!dip_log_consistent(&bad.iterations, 10));
+
+        // Drift 4: settlement logging fewer queries than mismatches.
+        let mut bad = sample_oracle_outcome();
+        bad.iterations[1].oracle_queries = 2;
+        assert!(!dip_log_consistent(&bad.iterations, 2));
+    }
+
+    #[test]
+    fn empty_log_reconciles_only_with_zero_queries() {
+        assert!(dip_log_consistent(&[], 0));
+        assert!(!dip_log_consistent(&[], 1));
+    }
+
+    #[test]
+    fn dip_scaling_table_renders_the_exhaustion_ceiling() {
+        let rows = vec![
+            DipScalingRow {
+                scheme: "SARLock".into(),
+                attack: "SAT".into(),
+                key_size: 6,
+                dips: 63,
+                finished: true,
+                correct: true,
+            },
+            DipScalingRow {
+                scheme: "SARLock+RLL".into(),
+                attack: "DoubleDIP".into(),
+                key_size: 12,
+                dips: 19,
+                finished: true,
+                correct: true,
+            },
+        ];
+        let table = render_dip_scaling(&rows);
+        assert!(table.contains("SARLock"));
+        assert!(table.contains("DoubleDIP"));
+        assert!(table.contains("64"), "2^6 ceiling column");
+        assert!(table.contains("4096"), "2^12 ceiling column");
     }
 
     #[test]

@@ -23,19 +23,15 @@
 //! constraints. Every iteration is recorded, so reports can show the DIP
 //! count trajectory.
 
-use crate::report::{AttackTarget, DipIteration, OracleAttackOutcome, OracleGuidedAttack};
-use almost_aig::sim::probably_equivalent;
+use crate::report::{
+    dip_log_consistent, score_oracle_run, AttackTarget, DipIteration, OracleAttackOutcome,
+    OracleGuidedAttack,
+};
 use almost_locking::Oracle;
 use almost_sat::miter::{DipSearch, KeyMiter};
-use almost_sat::{check_equivalence_limited, Equivalence};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::time::Instant;
-
-/// Conflict budget for the scoreboard CEC in
-/// [`OracleGuidedAttack::attack_with_oracle`]; past it, scoring falls back
-/// to random simulation (the attack result itself is unaffected).
-const CEC_SCORING_CONFLICTS: u64 = 50_000;
 
 /// Cap on counterexample constraints added per settlement round; each one
 /// encodes two key-conditioned circuit residues into the solver.
@@ -142,6 +138,10 @@ impl SatAttack {
         let mut settlement_rounds_used = 0usize;
         let mut proved_exact = false;
         let mut settled_candidate: Option<Vec<bool>> = None;
+        // The attack's own oracle-query ledger; reconciled against the
+        // oracle's served count before returning so per-iteration
+        // accounting can never drift from the reported totals.
+        let mut queries_issued = 0usize;
 
         let (conflict_budget, iteration_budget) = match self.config.mode {
             SatAttackMode::Exact => (None, usize::MAX),
@@ -165,10 +165,12 @@ impl SatAttack {
             match search {
                 DipSearch::Found(x) => {
                     let y = oracle.query(&x);
+                    queries_issued += 1;
                     miter.constrain_io(&x, &y);
                     iterations.push(DipIteration {
                         dip_count: miter.num_constraints(),
                         conflicts: miter.solver_stats().2,
+                        oracle_queries: queries_issued,
                         settlement_mismatches: None,
                     });
                 }
@@ -206,6 +208,7 @@ impl SatAttack {
                             .map(|_| rng.random::<bool>())
                             .collect();
                         let y = oracle.query(&x);
+                        queries_issued += 1;
                         let got = eval_with_key(locked, key_start, &candidate, &x);
                         if got != y {
                             mismatches += 1;
@@ -218,6 +221,7 @@ impl SatAttack {
                     iterations.push(DipIteration {
                         dip_count: miter.num_constraints(),
                         conflicts: miter.solver_stats().2,
+                        oracle_queries: queries_issued,
                         settlement_mismatches: Some(mismatches),
                     });
                     if mismatches == 0 {
@@ -236,14 +240,20 @@ impl SatAttack {
         let recovered = settled_candidate
             .or_else(|| miter.settle_key())
             .unwrap_or_else(|| vec![false; key_len]);
-        SatAttackRun {
+        let run = SatAttackRun {
             recovered,
             proved_exact,
             iterations,
             oracle_queries: oracle.queries_served() - queries_at_start,
             runtime: started.elapsed(),
             solver_conflicts: miter.solver_stats().2,
-        }
+        };
+        debug_assert_eq!(
+            queries_issued, run.oracle_queries,
+            "attack ledger must match the oracle's served count"
+        );
+        debug_assert!(run.accounting_consistent(), "DIP log reconciliation");
+        run
     }
 }
 
@@ -262,6 +272,17 @@ pub struct SatAttackRun {
     pub runtime: std::time::Duration,
     /// Total solver conflicts.
     pub solver_conflicts: u64,
+}
+
+impl SatAttackRun {
+    /// True when the per-iteration DIP log reconciles with the reported
+    /// oracle query count — in *every* mode: an exact run has exactly one
+    /// query per logged DIP iteration, an AppSAT run additionally
+    /// reconciles each settlement round's validation queries and re-encoded
+    /// mismatches (see [`dip_log_consistent`]).
+    pub fn accounting_consistent(&self) -> bool {
+        dip_log_consistent(&self.iterations, self.oracle_queries)
+    }
 }
 
 /// Evaluates the locked circuit under a candidate key on one input pattern.
@@ -295,44 +316,16 @@ impl OracleGuidedAttack for SatAttack {
         let key_start = target.locked.key_input_start;
         let key_len = target.locked.key_size();
         let run = self.run(locked, key_start, key_len, oracle);
-
-        // Score against ground truth: bit agreement for the scoreboard,
-        // SAT CEC for the functional verdict.
-        let truth = target.locked.key.bits();
-        let agreement = truth
-            .iter()
-            .zip(&run.recovered)
-            .filter(|(t, r)| t == r)
-            .count();
-        let accuracy = if truth.is_empty() {
-            0.0
-        } else {
-            agreement as f64 / truth.len() as f64
-        };
-        let unlocked = almost_locking::apply_key(locked, key_start, &run.recovered);
-        let reference = almost_locking::apply_key(locked, key_start, truth);
-        // Scoring verdict: 4096-pattern simulation refutes wrong keys
-        // immediately; if it agrees, a conflict-bounded CEC upgrades the
-        // verdict to a proof where feasible. Arithmetic circuits (the
-        // c6288 multiplier) make full CEC exponentially hard, and a
-        // scoreboard entry must not hang the harness, so on budget
-        // exhaustion the simulation verdict stands.
-        let functionally_correct = probably_equivalent(&unlocked, &reference, 64, self.config.seed)
-            && match check_equivalence_limited(&unlocked, &reference, CEC_SCORING_CONFLICTS) {
-                Some(verdict) => verdict == Equivalence::Equivalent,
-                None => true,
-            };
-
-        OracleAttackOutcome {
-            attack: self.name().to_string(),
-            recovered: run.recovered,
-            proved_exact: run.proved_exact,
-            functionally_correct,
-            iterations: run.iterations,
-            oracle_queries: run.oracle_queries,
-            accuracy,
-            runtime: run.runtime,
-        }
+        score_oracle_run(
+            self.name().to_string(),
+            target,
+            run.recovered,
+            run.proved_exact,
+            run.iterations,
+            run.oracle_queries,
+            run.runtime,
+            self.config.seed,
+        )
     }
 }
 
@@ -342,7 +335,7 @@ mod tests {
     use almost_aig::Script;
     use almost_circuits::IscasBenchmark;
     use almost_locking::{CircuitOracle, LockingScheme, Rll};
-    use almost_sat::check_equivalence;
+    use almost_sat::{check_equivalence, Equivalence};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -411,6 +404,58 @@ mod tests {
                 .any(|it| it.settlement_mismatches.is_some())
                 || outcome.proved_exact,
             "a budgeted run either settles or finishes exactly"
+        );
+    }
+
+    #[test]
+    fn iteration_accounting_reconciles_in_exact_mode() {
+        let locked = locked_c432(10, 5);
+        let oracle = CircuitOracle::from_locked(&locked);
+        let run = SatAttack::exact().run(
+            &locked.aig,
+            locked.key_input_start,
+            locked.key_size(),
+            &oracle,
+        );
+        assert!(run.accounting_consistent());
+        // Exact mode issues exactly one oracle query per logged iteration.
+        assert_eq!(run.oracle_queries, run.iterations.len());
+        assert_eq!(run.oracle_queries, oracle.queries_served());
+        // A drifted log must be rejected (this is the regression the
+        // audit exists to catch: a query issued but not logged).
+        if let Some(mut drifted) = Some(run.clone()) {
+            drifted.oracle_queries += 1;
+            assert!(!drifted.accounting_consistent());
+        }
+    }
+
+    #[test]
+    fn iteration_accounting_reconciles_in_approximate_mode() {
+        let locked = locked_c432(12, 6);
+        let oracle = CircuitOracle::from_locked(&locked);
+        let attack = SatAttack::new(SatAttackConfig::approximate(3, 50));
+        let run = attack.run(
+            &locked.aig,
+            locked.key_input_start,
+            locked.key_size(),
+            &oracle,
+        );
+        assert!(run.accounting_consistent());
+        assert_eq!(run.oracle_queries, oracle.queries_served());
+        // Settlement rounds issue validation queries beyond the DIP count;
+        // the per-iteration cumulative column must absorb all of them.
+        let logged = run.iterations.last().map_or(0, |it| it.oracle_queries);
+        assert_eq!(logged, run.oracle_queries);
+        // And the DIP ledger itself: one per DIP iteration plus exactly
+        // the re-encoded mismatches of each settlement round.
+        let expected_dips: usize = run
+            .iterations
+            .iter()
+            .map(|it| it.settlement_mismatches.unwrap_or(1))
+            .sum();
+        assert_eq!(
+            run.iterations.last().map_or(0, |it| it.dip_count),
+            expected_dips
         );
     }
 

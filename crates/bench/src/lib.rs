@@ -53,6 +53,30 @@ pub fn lock_benchmark(bench: IscasBenchmark, key_size: usize) -> LockedCircuit {
         .unwrap_or_else(|e| panic!("{bench} cannot absorb {key_size} key gates: {e}"))
 }
 
+/// Locks a benchmark with an arbitrary scheme deterministically (seed
+/// derived from the benchmark and scheme names plus `salt`) — the entry
+/// point the SAT-resilience harnesses use for Anti-SAT/SARLock and
+/// stacked compound locks.
+pub fn lock_benchmark_with(
+    scheme: &dyn LockingScheme,
+    bench: IscasBenchmark,
+    salt: u64,
+) -> LockedCircuit {
+    let seed = bench
+        .name()
+        .bytes()
+        .chain(scheme.name().bytes())
+        .fold(0xA105u64, |acc, b| {
+            acc.wrapping_mul(131).wrapping_add(b as u64)
+        })
+        ^ salt;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let aig = bench.build();
+    scheme
+        .lock(&aig, &mut rng)
+        .unwrap_or_else(|e| panic!("{bench} cannot be locked with {}: {e}", scheme.name()))
+}
+
 /// The output directory for experiment CSVs (`target/exp`).
 pub fn out_dir() -> PathBuf {
     let dir = PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
@@ -93,6 +117,17 @@ mod tests {
         let b = lock_benchmark(IscasBenchmark::C432, 16);
         assert_eq!(a.key, b.key);
         assert_eq!(a.aig.num_ands(), b.aig.num_ands());
+    }
+
+    #[test]
+    fn lock_benchmark_with_is_deterministic_and_scheme_aware() {
+        use almost_locking::SarLock;
+        let scheme = SarLock::new(6);
+        let a = lock_benchmark_with(&scheme, IscasBenchmark::C432, 7);
+        let b = lock_benchmark_with(&scheme, IscasBenchmark::C432, 7);
+        assert_eq!(a.key, b.key);
+        let c = lock_benchmark_with(&Rll::new(6), IscasBenchmark::C432, 7);
+        assert_ne!(a.key, c.key, "scheme name feeds the seed");
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //!   absorption in the AIG) obfuscates the binding exactly as in the paper.
 //! - [`MuxLock`]: MUX-based locking (extension; the paper notes ALMOST
 //!   "applies to other locking techniques").
+//! - [`AntiSat`] / [`SarLock`]: SAT-attack-resilient point-function
+//!   countermeasures (comparator trees keyed on the correct key) whose
+//!   defence metric is *DIPs required*, not attack accuracy.
+//! - [`Stacked`]: compound locks — a point function over RLL/MuxLock, the
+//!   SARLock+SSL shape the Double-DIP attack was built to break.
 //! - [`relock`]: the re-locking step of self-referencing attacks (insert
 //!   additional key gates with *known* bits to manufacture training data).
 //! - [`apply_key`]: specialise a locked circuit under a key (the oracle
@@ -32,16 +37,23 @@
 //! assert!(almost_aig::sim::probably_equivalent(&aig, &unlocked, 16, 7));
 //! ```
 
+pub mod anti_sat;
 pub mod key;
 pub mod mux_lock;
 pub mod oracle;
+mod point;
 pub mod rll;
+pub mod sar_lock;
 pub mod scheme;
 pub mod specialize;
+pub mod stacked;
 
+pub use anti_sat::AntiSat;
 pub use key::Key;
 pub use mux_lock::MuxLock;
 pub use oracle::{CircuitOracle, Oracle};
 pub use rll::Rll;
+pub use sar_lock::SarLock;
 pub use scheme::{relock, LockError, LockedCircuit, LockingScheme};
 pub use specialize::apply_key;
+pub use stacked::Stacked;

@@ -1,0 +1,31 @@
+//! Shared comparator-tree plumbing for point-function schemes
+//! ([`AntiSat`](crate::AntiSat), [`SarLock`](crate::SarLock)).
+
+use almost_aig::{Aig, Lit};
+
+/// Literals of the first `n` primary inputs — the tap set of the
+/// point-function schemes.
+///
+/// Functional inputs occupy the low positions in every locked circuit this
+/// workspace produces (schemes append their key inputs), so tapping from
+/// the front keeps stacked point functions keyed on *functional* inputs.
+pub(crate) fn tap_lits(aig: &Aig, n: usize) -> Vec<Lit> {
+    (0..n).map(|i| Lit::positive(aig.inputs()[i])).collect()
+}
+
+/// Comparator tree `AND_i (sig_i XNOR const_i)` — one exactly on the single
+/// pattern where the signals spell `constants`.
+pub(crate) fn xnor_compare(aig: &mut Aig, signals: &[Lit], constants: &[bool]) -> Lit {
+    let bits: Vec<Lit> = signals
+        .iter()
+        .zip(constants)
+        .map(|(&s, &c)| if c { s } else { !s })
+        .collect();
+    aig.and_many(&bits)
+}
+
+/// Comparator tree `AND_i (a_i XNOR b_i)` over two signal vectors.
+pub(crate) fn xnor_compare_signals(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Lit {
+    let bits: Vec<Lit> = a.iter().zip(b).map(|(&x, &y)| !aig.xor(x, y)).collect();
+    aig.and_many(&bits)
+}

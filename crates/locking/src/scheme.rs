@@ -94,6 +94,17 @@ pub trait LockingScheme {
 
     /// The scheme's display name.
     fn name(&self) -> &'static str;
+
+    /// How many of the circuit's *leading* inputs the scheme taps
+    /// (point-function schemes compare them against the key), or `None`
+    /// for schemes that lock internal gates only.
+    ///
+    /// Composition uses this to refuse stacks whose point function would
+    /// silently tap another scheme's key inputs — which would void the
+    /// one-point-corruption guarantee and the DIP floor.
+    fn tap_width(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Re-locks an already locked circuit with `additional` fresh key gates —

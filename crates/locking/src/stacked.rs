@@ -1,0 +1,237 @@
+//! Stacking a SAT-resilient point function on top of a structural scheme.
+//!
+//! The literature's compound locks (SARLock+SSL, Anti-SAT over RLL) pair a
+//! high-corruption base scheme with a low-corruption SAT-resilient overlay:
+//! the base hides functionality from approximate attackers, the overlay
+//! forces the exact SAT attack into exponentially many DIPs. [`Stacked`]
+//! builds exactly that: `base.lock` first, then the overlay on the result,
+//! with the two key vectors merged into one contiguous key-input block so
+//! every existing attack, oracle and PPA harness sees an ordinary
+//! [`LockedCircuit`].
+
+use crate::scheme::{LockError, LockedCircuit, LockingScheme};
+use almost_aig::Aig;
+use rand::rngs::StdRng;
+
+/// A compound scheme: `overlay` locked on top of `base`'s output netlist.
+///
+/// The combined key is `base.key ++ overlay.key`; key inputs stay
+/// contiguous (base keys first, overlay keys renamed to follow) and
+/// `locked_nodes` concatenates both generations (base entries in the
+/// original numbering, overlay entries in the base-locked numbering).
+///
+/// # Example
+///
+/// ```
+/// use almost_circuits::IscasBenchmark;
+/// use almost_locking::{apply_key, LockingScheme, Rll, SarLock, Stacked};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(9);
+/// let aig = IscasBenchmark::C432.build();
+/// let scheme = Stacked::new(Rll::new(8), SarLock::new(6));
+/// let locked = scheme.lock(&aig, &mut rng).expect("lockable");
+/// assert_eq!(locked.key_size(), 14);
+/// let restored = apply_key(&locked.aig, locked.key_input_start, locked.key.bits());
+/// assert!(almost_aig::sim::probably_equivalent(&aig, &restored, 16, 1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Stacked<B, O> {
+    base: B,
+    overlay: O,
+    name: &'static str,
+}
+
+/// Returns a `'static` copy of `name`, leaking each *distinct* name at
+/// most once (the [`LockingScheme::name`] contract wants `&'static str`,
+/// and harnesses construct compound schemes in loops).
+fn interned_name(name: String) -> &'static str {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static NAMES: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
+    let mut map = NAMES
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("name interner poisoned");
+    if let Some(&interned) = map.get(&name) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(name.clone().into_boxed_str());
+    map.insert(name, leaked);
+    leaked
+}
+
+impl<B: LockingScheme, O: LockingScheme> Stacked<B, O> {
+    /// Stacks `overlay` on top of `base`.
+    pub fn new(base: B, overlay: O) -> Self {
+        let name = interned_name(format!("{}+{}", overlay.name(), base.name()));
+        Stacked {
+            base,
+            overlay,
+            name,
+        }
+    }
+}
+
+impl<B: LockingScheme, O: LockingScheme> LockingScheme for Stacked<B, O> {
+    fn lock(&self, aig: &Aig, rng: &mut StdRng) -> Result<LockedCircuit, LockError> {
+        // A point-function overlay taps the circuit's leading inputs; in a
+        // stack those must all be *functional* inputs of the original
+        // circuit, never the base scheme's key inputs (tapping a key input
+        // would make the flip condition key-vs-key and void the
+        // one-point-corruption guarantee behind the DIP floor).
+        if let Some(taps) = self.overlay.tap_width() {
+            if taps > aig.num_inputs() {
+                return Err(LockError::NotEnoughGates {
+                    available: aig.num_inputs(),
+                    requested: taps,
+                });
+            }
+        }
+        let first = self.base.lock(aig, rng)?;
+        let second = self.overlay.lock(&first.aig, rng)?;
+        let base_keys = first.key_size();
+
+        // The overlay appended its key inputs after the base's, so the
+        // combined key block is contiguous from the base's start; only the
+        // overlay's key-input names need shifting.
+        debug_assert_eq!(second.key_input_start, first.aig.num_inputs());
+        let overlay_keys = second.key_size();
+        let overlay_start = second.key_input_start;
+        let mut merged = second.aig;
+        for i in 0..overlay_keys {
+            merged.set_input_name(overlay_start + i, format!("keyinput{}", base_keys + i));
+        }
+
+        let mut bits = first.key.bits().to_vec();
+        bits.extend_from_slice(second.key.bits());
+        let mut locked_nodes = first.locked_nodes;
+        locked_nodes.extend_from_slice(&second.locked_nodes);
+        Ok(LockedCircuit {
+            aig: merged,
+            key_input_start: first.key_input_start,
+            key: crate::Key::from_bits(bits),
+            locked_nodes,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn tap_width(&self) -> Option<usize> {
+        // Both layers tap leading inputs of circuits whose functional
+        // inputs come first, so the stack's requirement is the wider one.
+        match (self.base.tap_width(), self.overlay.tap_width()) {
+            (a, None) => a,
+            (None, b) => b,
+            (Some(a), Some(b)) => Some(a.max(b)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specialize::apply_key;
+    use crate::{AntiSat, MuxLock, Rll, SarLock};
+    use almost_circuits::IscasBenchmark;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sarlock_over_rll_has_contiguous_named_keys() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let base = IscasBenchmark::C432.build();
+        let scheme = Stacked::new(Rll::new(8), SarLock::new(6));
+        assert_eq!(scheme.name(), "SARLock+RLL");
+        let locked = scheme.lock(&base, &mut rng).expect("lockable");
+        assert_eq!(locked.key_size(), 14);
+        assert_eq!(locked.key_input_start, base.num_inputs());
+        for (k, pos) in locked.key_input_positions().enumerate() {
+            assert_eq!(locked.aig.input_name(pos), format!("keyinput{k}"));
+        }
+        assert_eq!(locked.locked_nodes.len(), 8 + 1);
+    }
+
+    #[test]
+    fn compound_correct_key_restores_function_proved_by_sat() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let base = IscasBenchmark::C880.build();
+        for locked in [
+            Stacked::new(Rll::new(12), SarLock::new(5))
+                .lock(&base, &mut rng)
+                .expect("lockable"),
+            Stacked::new(MuxLock::new(8), AntiSat::new(4))
+                .lock(&base, &mut rng)
+                .expect("lockable"),
+        ] {
+            let restored = apply_key(&locked.aig, locked.key_input_start, locked.key.bits());
+            assert_eq!(
+                almost_sat::check_equivalence(&base, &restored),
+                almost_sat::Equivalence::Equivalent
+            );
+        }
+    }
+
+    #[test]
+    fn overlay_may_not_tap_base_key_inputs() {
+        // c17-shaped circuit: 5 functional inputs. After RLL adds 2 key
+        // inputs the base-locked circuit has 7, so SarLock::new(6) *would*
+        // pass its own input check while tapping key inputs 5-6 — the
+        // stack must refuse instead.
+        let mut rng = StdRng::seed_from_u64(54);
+        let mut small = Aig::new();
+        let ins: Vec<_> = (0..5).map(|_| small.add_input()).collect();
+        let mut acc = small.and(ins[0], ins[1]);
+        for &i in &ins[2..] {
+            acc = small.and(acc, i);
+            let o = small.or(acc, i);
+            small.add_output(o);
+        }
+        let err = Stacked::new(Rll::new(2), SarLock::new(6))
+            .lock(&small, &mut rng)
+            .expect_err("6 taps cannot fit 5 functional inputs");
+        assert_eq!(
+            err,
+            LockError::NotEnoughGates {
+                available: 5,
+                requested: 6
+            }
+        );
+        // The same widths fit when the point function is narrow enough.
+        assert!(Stacked::new(Rll::new(2), SarLock::new(5))
+            .lock(&small, &mut rng)
+            .is_ok());
+        // tap_width propagates through nested stacks.
+        let nested = Stacked::new(Stacked::new(Rll::new(2), SarLock::new(3)), AntiSat::new(4));
+        assert_eq!(nested.tap_width(), Some(4));
+    }
+
+    #[test]
+    fn names_are_interned_not_reaccumulated() {
+        let a = Stacked::new(Rll::new(2), SarLock::new(2));
+        let b = Stacked::new(Rll::new(4), SarLock::new(8));
+        assert!(
+            std::ptr::eq(a.name(), b.name()),
+            "one allocation per distinct name"
+        );
+    }
+
+    #[test]
+    fn base_failure_propagates() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut tiny = Aig::new();
+        let a = tiny.add_input();
+        let b = tiny.add_input();
+        let f = tiny.and(a, b);
+        tiny.add_output(f);
+        let err = Stacked::new(Rll::new(64), SarLock::new(2))
+            .lock(&tiny, &mut rng)
+            .expect_err("base cannot absorb 64 gates");
+        assert!(matches!(
+            err,
+            LockError::NotEnoughGates { requested: 64, .. }
+        ));
+    }
+}

@@ -15,7 +15,8 @@
 //!
 //! [`miter`] builds *key-conditioned* miters over locked circuits, the
 //! substrate of the oracle-guided SAT attack implemented in
-//! `almost-attacks`.
+//! `almost-attacks`; [`double_dip`] extends them to the four-copy 2-DIP
+//! miter that defeats point-function defences (SARLock, Anti-SAT).
 //!
 //! # Example
 //!
@@ -33,10 +34,12 @@
 
 pub mod cnf;
 pub mod dimacs;
+pub mod double_dip;
 pub mod equiv;
 pub mod miter;
 pub mod solver;
 
+pub use double_dip::{DoubleDipMiter, TwoDipSearch};
 pub use equiv::{check_equivalence, check_equivalence_limited, test_stuck_at, Equivalence};
 pub use miter::{DipSearch, KeyMiter};
 pub use solver::{SatLit, SatResult, SatVar, Solver};

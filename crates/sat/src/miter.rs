@@ -236,7 +236,11 @@ impl std::fmt::Debug for KeyMiter {
 
 /// Interleaves shared data variables and per-copy key variables into the
 /// locked circuit's input order.
-fn splice_inputs(x_vars: &[SatVar], key_vars: &[SatVar], key_start: usize) -> Vec<SatVar> {
+pub(crate) fn splice_inputs(
+    x_vars: &[SatVar],
+    key_vars: &[SatVar],
+    key_start: usize,
+) -> Vec<SatVar> {
     let mut inputs = Vec::with_capacity(x_vars.len() + key_vars.len());
     inputs.extend_from_slice(&x_vars[..key_start]);
     inputs.extend_from_slice(key_vars);
@@ -246,7 +250,12 @@ fn splice_inputs(x_vars: &[SatVar], key_vars: &[SatVar], key_start: usize) -> Ve
 
 /// Specialises `locked` under constant functional inputs, leaving exactly
 /// the key inputs (in order) as the inputs of the returned AIG.
-fn restrict_to_keys(locked: &Aig, key_start: usize, key_len: usize, data: &[bool]) -> Aig {
+pub(crate) fn restrict_to_keys(
+    locked: &Aig,
+    key_start: usize,
+    key_len: usize,
+    data: &[bool],
+) -> Aig {
     let mut new = Aig::new();
     let mut map: Vec<Lit> = vec![Lit::FALSE; locked.num_nodes()];
     let mut data_iter = data.iter();

@@ -9,11 +9,12 @@
 //! - [`netlist`] — cell library, technology mapping, and PPA analysis.
 //! - [`circuits`] — ISCAS85-profile benchmark circuit generators.
 //! - [`locking`] — random logic locking (RLL), bubble pushing, re-locking,
-//!   and the activated-IC oracle interface.
+//!   SAT-resilient point functions (Anti-SAT, SARLock) with stacked
+//!   compounds, and the activated-IC oracle interface.
 //! - [`ml`] — dense tensors, reverse-mode autodiff, GIN layers, Adam.
 //! - [`attacks`] — oracle-less attacks (OMLA, SCOPE, redundancy, SnapShot)
-//!   and the oracle-guided SAT attack (DIP loop, AppSAT-style approximate
-//!   mode).
+//!   and the oracle-guided SAT attack family (DIP loop, AppSAT-style
+//!   approximate mode, and the Double-DIP point-function breaker).
 //! - [`almost`] — the ALMOST framework: recipes, simulated annealing,
 //!   adversarial proxy-model training, security-aware synthesis.
 //!

@@ -1,0 +1,110 @@
+//! The headline SAT-resilience contract, end to end: on a SARLock-over-RLL
+//! compound lock the *exact* SAT attack exceeds its DIP budget (the
+//! defence works), while Double DIP strips the point function and recovers
+//! the RLL base key exactly (the counter-attack works).
+//!
+//! The default-size case runs on c432; the full-size c1355 scenario
+//! (16-bit RLL base + 12-bit SARLock, 4096-DIP floor) runs when
+//! `ALMOST_SCALE=ci` or `paper` is set — the CI release job covers it.
+
+use almost_repro::attacks::{DoubleDip, SatAttack, SatAttackConfig, SatAttackMode};
+use almost_repro::circuits::IscasBenchmark;
+use almost_repro::locking::{
+    apply_key, CircuitOracle, LockedCircuit, LockingScheme, Rll, SarLock, Stacked,
+};
+use almost_repro::sat::{check_equivalence, Equivalence};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// True when the deep (release-scale) scenarios should run.
+fn deep_scale() -> bool {
+    matches!(
+        std::env::var("ALMOST_SCALE").as_deref(),
+        Ok("ci") | Ok("CI") | Ok("paper") | Ok("PAPER")
+    )
+}
+
+/// Asserts the full contract on one lock: exact SAT stalls at
+/// `sat_budget` iterations; Double DIP settles and its key, with the
+/// overlay bits replaced by ground truth, passes an exact CEC.
+fn assert_contract(
+    design: &almost_repro::aig::Aig,
+    locked: &LockedCircuit,
+    base_bits: usize,
+    sat_budget: usize,
+) {
+    let oracle = CircuitOracle::from_locked(locked);
+    let stalled = SatAttack::new(SatAttackConfig {
+        mode: SatAttackMode::Exact,
+        max_iterations: sat_budget,
+        seed: 0x5A7,
+    })
+    .run(
+        &locked.aig,
+        locked.key_input_start,
+        locked.key_size(),
+        &oracle,
+    );
+    assert!(
+        !stalled.proved_exact,
+        "the exact attack must exceed its {sat_budget}-DIP budget"
+    );
+    assert_eq!(
+        stalled.iterations.len(),
+        sat_budget,
+        "every budgeted iteration is a logged DIP"
+    );
+    assert!(stalled.accounting_consistent());
+
+    let dd_oracle = CircuitOracle::from_locked(locked);
+    let run = DoubleDip::exact().run(
+        &locked.aig,
+        locked.key_input_start,
+        locked.key_size(),
+        &dd_oracle,
+    );
+    assert!(run.two_dip_settled, "the 2-DIP loop must converge");
+    assert!(
+        run.dip_count() < sat_budget,
+        "Double DIP must beat the budget that stopped the exact attack \
+         (spent {})",
+        run.dip_count()
+    );
+    assert!(run.accounting_consistent());
+
+    let mut key = run.recovered.clone();
+    key[base_bits..].copy_from_slice(&locked.key.bits()[base_bits..]);
+    let restored = apply_key(&locked.aig, locked.key_input_start, &key);
+    assert_eq!(
+        check_equivalence(design, &restored),
+        Equivalence::Equivalent,
+        "recovered base key + true overlay must unlock the design"
+    );
+}
+
+#[test]
+fn double_dip_beats_sarlock_over_rll_on_c432() {
+    let design = IscasBenchmark::C432.build();
+    let mut rng = StdRng::seed_from_u64(63);
+    let locked = Stacked::new(Rll::new(10), SarLock::new(8))
+        .lock(&design, &mut rng)
+        .expect("lockable");
+    // SARLock-8 floor: 255 DIPs. Budget 48 is comfortable for RLL-10
+    // alone (< 24 DIPs) and hopeless against the compound.
+    assert_contract(&design, &locked, 10, 48);
+}
+
+#[test]
+fn double_dip_beats_full_size_sarlock_over_rll_on_c1355() {
+    if !deep_scale() {
+        eprintln!("skipping full-size c1355 scenario (set ALMOST_SCALE=ci to run)");
+        return;
+    }
+    let design = IscasBenchmark::C1355.build();
+    let mut rng = StdRng::seed_from_u64(63);
+    let locked = Stacked::new(Rll::new(16), SarLock::new(12))
+        .lock(&design, &mut rng)
+        .expect("lockable");
+    // SARLock-12 floor: 4095 DIPs; the 2-DIP loop settles in a few dozen.
+    assert_contract(&design, &locked, 16, 64);
+}
