@@ -6,6 +6,8 @@
 use almost_aig::{Aig, Script};
 use almost_locking::{LockedCircuit, Oracle};
 
+pub use almost_sat::SolverStats;
+
 /// Everything an oracle-less attacker sees: the deployed (synthesised)
 /// locked netlist and — per the paper's threat model — the defender's
 /// synthesis recipe.
@@ -167,6 +169,10 @@ pub struct OracleAttackOutcome {
     pub accuracy: f64,
     /// Wall-clock duration of the attack.
     pub runtime: std::time::Duration,
+    /// Solver-effort counters of the attack's miter (decisions,
+    /// propagations, conflicts, restarts, learnts kept/deleted) — the
+    /// behavioural audit trail for heuristic changes in the CDCL core.
+    pub solver: SolverStats,
 }
 
 impl OracleAttackOutcome {
@@ -207,6 +213,7 @@ pub(crate) fn score_oracle_run(
     iterations: Vec<DipIteration>,
     oracle_queries: usize,
     runtime: std::time::Duration,
+    solver: SolverStats,
     sim_seed: u64,
 ) -> OracleAttackOutcome {
     use almost_aig::sim::probably_equivalent;
@@ -240,6 +247,7 @@ pub(crate) fn score_oracle_run(
         oracle_queries,
         accuracy,
         runtime,
+        solver,
     }
 }
 
@@ -265,16 +273,26 @@ pub fn render_report(
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<12} {:<14} {:>9} {:>7} {:>8}  notes",
-        "attack", "threat model", "accuracy", "DIPs", "queries"
+        "{:<12} {:<14} {:>9} {:>7} {:>8} {:>10} {:>9} {:>8}  notes",
+        "attack",
+        "threat model",
+        "accuracy",
+        "DIPs",
+        "queries",
+        "decisions",
+        "conflicts",
+        "restarts"
     );
     for o in oracle_less {
         let _ = writeln!(
             out,
-            "{:<12} {:<14} {:>8.2}% {:>7} {:>8}  {} unresolved bits",
+            "{:<12} {:<14} {:>8.2}% {:>7} {:>8} {:>10} {:>9} {:>8}  {} unresolved bits",
             o.attack,
             "oracle-less",
             o.accuracy * 100.0,
+            "-",
+            "-",
+            "-",
             "-",
             "-",
             o.num_unresolved()
@@ -290,12 +308,15 @@ pub fn render_report(
         };
         let _ = writeln!(
             out,
-            "{:<12} {:<14} {:>8.2}% {:>7} {:>8}  {verdict}, {:.1}s",
+            "{:<12} {:<14} {:>8.2}% {:>7} {:>8} {:>10} {:>9} {:>8}  {verdict}, {:.1}s",
             o.attack,
             "oracle-guided",
             o.accuracy * 100.0,
             o.dip_count(),
             o.oracle_queries,
+            o.solver.decisions,
+            o.solver.conflicts,
+            o.solver.restarts,
             o.runtime.as_secs_f64()
         );
     }
@@ -324,6 +345,10 @@ pub struct DipScalingRow {
     /// stripped one-input flip, so this reports the *base* verdict the
     /// caller computed).
     pub correct: bool,
+    /// Solver-effort counters of the attack run (the DIPs column says how
+    /// many oracle queries the defence extracted; this says how hard the
+    /// solver worked to extract them).
+    pub solver: SolverStats,
 }
 
 /// Renders DIP-count-vs-key-size rows — the defence metric of the
@@ -333,20 +358,32 @@ pub fn render_dip_scaling(rows: &[DipScalingRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<14} {:<10} {:>4} {:>7} {:>6} {:>9} {:>8}",
-        "scheme", "attack", "k", "DIPs", "2^k", "finished", "correct"
+        "{:<14} {:<10} {:>4} {:>7} {:>6} {:>9} {:>8} {:>10} {:>9} {:>8}",
+        "scheme",
+        "attack",
+        "k",
+        "DIPs",
+        "2^k",
+        "finished",
+        "correct",
+        "decisions",
+        "conflicts",
+        "restarts"
     );
     for r in rows {
         let _ = writeln!(
             out,
-            "{:<14} {:<10} {:>4} {:>7} {:>6} {:>9} {:>8}",
+            "{:<14} {:<10} {:>4} {:>7} {:>6} {:>9} {:>8} {:>10} {:>9} {:>8}",
             r.scheme,
             r.attack,
             r.key_size,
             r.dips,
             1usize << r.key_size.min(63),
             r.finished,
-            r.correct
+            r.correct,
+            r.solver.decisions,
+            r.solver.conflicts,
+            r.solver.restarts
         );
     }
     out
@@ -394,6 +431,14 @@ mod tests {
             oracle_queries: 9,
             accuracy: 1.0,
             runtime: std::time::Duration::from_millis(12),
+            solver: SolverStats {
+                decisions: 40,
+                propagations: 200,
+                conflicts: 9,
+                restarts: 1,
+                learnts_kept: 7,
+                learnts_deleted: 2,
+            },
         }
     }
 
@@ -445,6 +490,11 @@ mod tests {
                 dips: 63,
                 finished: true,
                 correct: true,
+                solver: SolverStats {
+                    decisions: 1234,
+                    conflicts: 77,
+                    ..SolverStats::default()
+                },
             },
             DipScalingRow {
                 scheme: "SARLock+RLL".into(),
@@ -453,6 +503,7 @@ mod tests {
                 dips: 19,
                 finished: true,
                 correct: true,
+                solver: SolverStats::default(),
             },
         ];
         let table = render_dip_scaling(&rows);
@@ -460,6 +511,8 @@ mod tests {
         assert!(table.contains("DoubleDIP"));
         assert!(table.contains("64"), "2^6 ceiling column");
         assert!(table.contains("4096"), "2^12 ceiling column");
+        assert!(table.contains("decisions"), "solver-effort header");
+        assert!(table.contains("1234"), "decision count column");
     }
 
     #[test]

@@ -169,7 +169,7 @@ impl SatAttack {
                     miter.constrain_io(&x, &y);
                     iterations.push(DipIteration {
                         dip_count: miter.num_constraints(),
-                        conflicts: miter.solver_stats().2,
+                        conflicts: miter.solver_stats().conflicts,
                         oracle_queries: queries_issued,
                         settlement_mismatches: None,
                     });
@@ -220,7 +220,7 @@ impl SatAttack {
                     }
                     iterations.push(DipIteration {
                         dip_count: miter.num_constraints(),
-                        conflicts: miter.solver_stats().2,
+                        conflicts: miter.solver_stats().conflicts,
                         oracle_queries: queries_issued,
                         settlement_mismatches: Some(mismatches),
                     });
@@ -246,7 +246,7 @@ impl SatAttack {
             iterations,
             oracle_queries: oracle.queries_served() - queries_at_start,
             runtime: started.elapsed(),
-            solver_conflicts: miter.solver_stats().2,
+            solver: miter.solver_stats(),
         };
         debug_assert_eq!(
             queries_issued, run.oracle_queries,
@@ -270,8 +270,8 @@ pub struct SatAttackRun {
     pub oracle_queries: usize,
     /// Wall-clock duration.
     pub runtime: std::time::Duration,
-    /// Total solver conflicts.
-    pub solver_conflicts: u64,
+    /// Cumulative solver-effort counters of the attack's miter.
+    pub solver: almost_sat::SolverStats,
 }
 
 impl SatAttackRun {
@@ -324,6 +324,7 @@ impl OracleGuidedAttack for SatAttack {
             run.iterations,
             run.oracle_queries,
             run.runtime,
+            run.solver,
             self.config.seed,
         )
     }

@@ -1,14 +1,19 @@
-//! Oracle-guided SAT-attack harness: DIP counts, oracle queries and wall
-//! time for exact and AppSAT-approximate key recovery across benchmarks
-//! and key sizes.
+//! Oracle-guided SAT-attack harness: DIP counts, oracle queries, solver
+//! effort and wall time for exact and AppSAT-approximate key recovery
+//! across benchmarks and key sizes.
 //!
 //! Literature shape to reproduce: RLL falls to the exact attack in seconds
 //! with DIP counts far below 2^k, growing mildly with key size; the
 //! approximate mode reaches a functionally correct key with bounded solver
 //! effort. XOR-dominated circuits (c1355 profile) need the most conflicts.
+//!
+//! Rows are independent (every row builds its own lock, oracle and
+//! solver), so they fan out across cores on `almost_bench::pool`; results
+//! are printed and written in deterministic row order regardless of
+//! scheduling (`ALMOST_JOBS=1` forces the serial reference run).
 
 use almost_attacks::{AttackTarget, OracleGuidedAttack, SatAttack, SatAttackConfig};
-use almost_bench::{banner, lock_benchmark, pct, write_csv};
+use almost_bench::{banner, lock_benchmark, pct, pool, write_csv};
 use almost_circuits::IscasBenchmark;
 use almost_core::{Recipe, Scale};
 use almost_locking::CircuitOracle;
@@ -36,57 +41,78 @@ fn main() {
         Scale::Paper => &[8, 16, 32, 64],
     };
 
-    println!(
-        "{:<8} {:>4} {:<7} {:>6} {:>8} {:>10} {:>9} {:>8}",
-        "bench", "key", "mode", "DIPs", "queries", "conflicts", "time", "correct"
-    );
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    for bench in benches {
+    let mut jobs: Vec<(IscasBenchmark, usize, &'static str, SatAttack)> = Vec::new();
+    for &bench in &benches {
         for &key_size in key_sizes {
-            let locked = lock_benchmark(bench, key_size);
-            let target = AttackTarget::new(locked, Recipe::resyn2().as_script());
-            let attacks = [
-                ("exact", SatAttack::exact()),
-                (
-                    "appsat",
-                    SatAttack::new(SatAttackConfig::approximate(8, 500)),
-                ),
-            ];
-            for (mode, attack) in attacks {
-                let oracle = CircuitOracle::from_locked(&target.locked);
-                let started = Instant::now();
-                let outcome = attack.attack_with_oracle(&target, &oracle);
-                let elapsed = started.elapsed();
-                let conflicts = outcome.iterations.last().map_or(0, |it| it.conflicts);
-                println!(
-                    "{:<8} {:>4} {:<7} {:>6} {:>8} {:>10} {:>8.2}s {:>8}",
-                    bench.name(),
-                    key_size,
-                    mode,
-                    outcome.dip_count(),
-                    outcome.oracle_queries,
-                    conflicts,
-                    elapsed.as_secs_f64(),
-                    outcome.functionally_correct
-                );
-                rows.push(vec![
-                    bench.name().into(),
-                    key_size.to_string(),
-                    mode.into(),
-                    outcome.dip_count().to_string(),
-                    outcome.oracle_queries.to_string(),
-                    conflicts.to_string(),
-                    format!("{:.4}", elapsed.as_secs_f64()),
-                    pct(outcome.accuracy),
-                    outcome.functionally_correct.to_string(),
-                ]);
-            }
+            jobs.push((bench, key_size, "exact", SatAttack::exact()));
+            jobs.push((
+                bench,
+                key_size,
+                "appsat",
+                SatAttack::new(SatAttackConfig::approximate(8, 500)),
+            ));
         }
+    }
+
+    println!(
+        "{:<8} {:>4} {:<7} {:>6} {:>8} {:>10} {:>10} {:>8} {:>9} {:>8}",
+        "bench",
+        "key",
+        "mode",
+        "DIPs",
+        "queries",
+        "decisions",
+        "conflicts",
+        "restarts",
+        "time",
+        "correct"
+    );
+    let results = pool::map_indexed(jobs, |_, (bench, key_size, mode, attack)| {
+        let locked = lock_benchmark(bench, key_size);
+        let target = AttackTarget::new(locked, Recipe::resyn2().as_script());
+        let oracle = CircuitOracle::from_locked(&target.locked);
+        let started = Instant::now();
+        let outcome = attack.attack_with_oracle(&target, &oracle);
+        let elapsed = started.elapsed();
+        let line = format!(
+            "{:<8} {:>4} {:<7} {:>6} {:>8} {:>10} {:>10} {:>8} {:>8.2}s {:>8}",
+            bench.name(),
+            key_size,
+            mode,
+            outcome.dip_count(),
+            outcome.oracle_queries,
+            outcome.solver.decisions,
+            outcome.solver.conflicts,
+            outcome.solver.restarts,
+            elapsed.as_secs_f64(),
+            outcome.functionally_correct
+        );
+        let row = vec![
+            bench.name().into(),
+            key_size.to_string(),
+            mode.into(),
+            outcome.dip_count().to_string(),
+            outcome.oracle_queries.to_string(),
+            outcome.solver.decisions.to_string(),
+            outcome.solver.propagations.to_string(),
+            outcome.solver.conflicts.to_string(),
+            outcome.solver.restarts.to_string(),
+            format!("{:.4}", elapsed.as_secs_f64()),
+            pct(outcome.accuracy),
+            outcome.functionally_correct.to_string(),
+        ];
+        (line, row)
+    });
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (line, row) in results {
+        println!("{line}");
+        rows.push(row);
     }
 
     write_csv(
         "sat_attack.csv",
-        "bench,key_size,mode,dips,oracle_queries,conflicts,seconds,bit_agreement_pct,functionally_correct",
+        "bench,key_size,mode,dips,oracle_queries,decisions,propagations,conflicts,restarts,seconds,bit_agreement_pct,functionally_correct",
         &rows,
     );
     println!("\n(every `correct=true` row is a SAT-CEC-verified key recovery)");

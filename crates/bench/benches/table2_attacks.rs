@@ -15,7 +15,7 @@ use almost_attacks::{
     RedundancyConfig, SatAttack, SatAttackConfig, Scope, ScopeConfig,
 };
 use almost_bench::{
-    banner, experiment_benchmarks, lock_benchmark, lock_benchmark_with, pct, write_csv,
+    banner, experiment_benchmarks, lock_benchmark, lock_benchmark_with, pct, pool, write_csv,
 };
 use almost_core::{generate_secure_recipe, train_proxy, ProxyKind, Recipe, Scale};
 use almost_locking::{CircuitOracle, LockingScheme, Rll, SarLock, Stacked};
@@ -23,8 +23,6 @@ use almost_locking::{CircuitOracle, LockingScheme, Rll, SarLock, Stacked};
 fn main() {
     let scale = Scale::from_env();
     banner("Table II: SOTA attacks, resyn2 vs ALMOST recipe", scale);
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut omla_drop = Vec::new();
 
     let omla_cfg = |scale: Scale| {
         let p = scale.proxy_config(0);
@@ -41,8 +39,22 @@ fn main() {
         }
     };
 
+    // Every (key-size, bench) cell trains its own proxy and runs its own
+    // attacks — independent work, fanned out on the worker pool. Each job
+    // returns (console lines, CSV rows, OMLA accuracy drop) and the
+    // deterministic job order keeps the printed table and CSV stable.
+    let mut jobs: Vec<(usize, almost_circuits::IscasBenchmark)> = Vec::new();
     for &key_size in scale.key_sizes() {
         for bench in experiment_benchmarks(scale, false) {
+            jobs.push((key_size, bench));
+        }
+    }
+
+    let cells: Vec<(Vec<String>, Vec<Vec<String>>, f64)> = pool::map_indexed(
+        jobs,
+        |_, (key_size, bench)| {
+            let mut lines: Vec<String> = Vec::new();
+            let mut rows: Vec<Vec<String>> = Vec::new();
             let locked = lock_benchmark(bench, key_size);
             // Defender side: train M* and search for S_ALMOST.
             let proxy = train_proxy(&locked, ProxyKind::Adversarial, &scale.proxy_config(0x7AB2));
@@ -65,7 +77,7 @@ fn main() {
                 })
                 .attack(&target);
                 for out in [&omla, &scope, &redundancy] {
-                    println!(
+                    lines.push(format!(
                         "{:<8} {:>4} {:<10} {:<7} acc {:>6}%  (unresolved {})",
                         bench.name(),
                         key_size,
@@ -73,7 +85,7 @@ fn main() {
                         recipe_name,
                         pct(out.accuracy),
                         out.num_unresolved()
-                    );
+                    ));
                     rows.push(vec![
                         bench.name().into(),
                         key_size.to_string(),
@@ -91,7 +103,7 @@ fn main() {
                 let sat_oracle = CircuitOracle::from_locked(&target.locked);
                 let sat = SatAttack::new(SatAttackConfig::approximate(16, 2_000))
                     .attack_with_oracle(&target, &sat_oracle);
-                println!(
+                lines.push(format!(
                     "{:<8} {:>4} {:<10} {:<7} acc {:>6}%  ({} DIPs, functionally correct: {})",
                     bench.name(),
                     key_size,
@@ -100,7 +112,7 @@ fn main() {
                     pct(sat.accuracy),
                     sat.dip_count(),
                     sat.functionally_correct
-                );
+                ));
                 rows.push(vec![
                     bench.name().into(),
                     key_size.to_string(),
@@ -115,7 +127,7 @@ fn main() {
                     .map(|(_, _, v)| *v)
                     .unwrap_or(0.0)
             };
-            omla_drop.push(get("OMLA", "resyn2") - get("OMLA", "ALMOST"));
+            let omla_drop = get("OMLA", "resyn2") - get("OMLA", "ALMOST");
 
             // SAT-resilient contrast rows: the same benchmark under a
             // SARLock-over-RLL compound lock. The budgeted (AppSAT) SAT
@@ -139,7 +151,7 @@ fn main() {
             // Label each row with the recipe its netlist actually saw.
             for (out, recipe_label) in [(&sat, "resyn2"), (&dd, "none")] {
                 let labelled = format!("{}@{}", out.attack, compound.name());
-                println!(
+                lines.push(format!(
                     "{:<8} {:>4} {:<22} {:<7} acc {:>6}%  ({} DIPs vs 2^8 floor, functionally correct: {})",
                     bench.name(),
                     deployed.locked.key_size(),
@@ -148,7 +160,7 @@ fn main() {
                     pct(out.accuracy),
                     out.dip_count(),
                     out.functionally_correct
-                );
+                ));
                 rows.push(vec![
                     bench.name().into(),
                     deployed.locked.key_size().to_string(),
@@ -157,7 +169,22 @@ fn main() {
                     pct(out.accuracy),
                 ]);
             }
+            // Liveness marker (stderr, completion order): cells take
+            // minutes each — the ordered table itself prints only after
+            // every cell finishes.
+            eprintln!("  [cell done] {} k={}", bench.name(), key_size);
+            (lines, rows, omla_drop)
+        },
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut omla_drop = Vec::new();
+    for (lines, cell_rows, drop) in cells {
+        for line in lines {
+            println!("{line}");
         }
+        rows.extend(cell_rows);
+        omla_drop.push(drop);
     }
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;

@@ -5,6 +5,14 @@
 //! same rows/series the paper reports and writes CSV files under
 //! `target/exp/`. Scale is selected with `ALMOST_SCALE=quick|paper`
 //! (default `quick`); see `almost_core::config::Scale`.
+//!
+//! The attack harnesses (`sat_attack`, `sat_resilience`, `table2_attacks`)
+//! fan their independent (bench, key-size) rows out across cores on the
+//! [`pool`] work-stealing pool; worker count follows `ALMOST_JOBS` (set
+//! `ALMOST_JOBS=1` for the serial reference run — row content is
+//! identical either way, wall-clock columns aside).
+
+pub mod pool;
 
 use almost_circuits::IscasBenchmark;
 use almost_core::Scale;

@@ -273,8 +273,8 @@ impl DoubleDipMiter {
         self.key_len
     }
 
-    /// Solver statistics: (decisions, propagations, conflicts).
-    pub fn solver_stats(&self) -> (u64, u64, u64) {
+    /// Cumulative solver-effort statistics.
+    pub fn solver_stats(&self) -> crate::solver::SolverStats {
         self.solver.stats()
     }
 

@@ -1,0 +1,187 @@
+//! The indexed max-heap behind the solver's VSIDS decision order.
+//!
+//! [`ActivityHeap`] keeps every *unassigned* variable ordered by activity
+//! so [`Solver::solve`](crate::Solver::solve) picks its next decision in
+//! O(log n) instead of the O(n) scan the first implementation used — the
+//! bottleneck once four-copy 2-DIP miters double the variable count.
+//!
+//! The heap does not own the activities (they live in the solver and are
+//! bumped during conflict analysis); every operation takes the activity
+//! slice as an argument. Ordering is a **strict total order** —
+//! activity descending, variable index ascending on ties — so the pop
+//! sequence is fully deterministic and survives the uniform `var_inc`
+//! rescale (which multiplies every activity by the same constant).
+
+use crate::solver::SatVar;
+
+const ABSENT: u32 = u32::MAX;
+
+/// Is `a` ordered strictly before `b`? Ties on activity break towards the
+/// smaller variable index, making the order total (and decisions
+/// reproducible across runs and platforms).
+#[inline]
+fn precedes(act: &[f64], a: SatVar, b: SatVar) -> bool {
+    let (aa, ab) = (act[a as usize], act[b as usize]);
+    aa > ab || (aa == ab && a < b)
+}
+
+/// An indexed binary max-heap of variables keyed by activity; see the
+/// [module documentation](self).
+#[derive(Clone, Debug, Default)]
+pub struct ActivityHeap {
+    /// Heap-ordered variables.
+    heap: Vec<SatVar>,
+    /// `pos[v]` is `v`'s index in `heap`, or `ABSENT`.
+    pos: Vec<u32>,
+}
+
+impl ActivityHeap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        ActivityHeap::default()
+    }
+
+    /// Number of variables currently in the heap.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no variable is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True when `var` is currently queued.
+    pub fn contains(&self, var: SatVar) -> bool {
+        self.pos.get(var as usize).is_some_and(|&p| p != ABSENT)
+    }
+
+    /// Inserts `var` (no-op if already present).
+    pub fn insert(&mut self, var: SatVar, act: &[f64]) {
+        if self.pos.len() <= var as usize {
+            self.pos.resize(var as usize + 1, ABSENT);
+        }
+        if self.pos[var as usize] != ABSENT {
+            return;
+        }
+        let i = self.heap.len();
+        self.heap.push(var);
+        self.pos[var as usize] = i as u32;
+        self.sift_up(i, act);
+    }
+
+    /// Removes and returns the variable ordered first (highest activity,
+    /// lowest index on ties).
+    pub fn pop(&mut self, act: &[f64]) -> Option<SatVar> {
+        let top = *self.heap.first()?;
+        self.pos[top as usize] = ABSENT;
+        let last = self.heap.pop().expect("heap non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    /// Restores the heap property after `var`'s activity increased (VSIDS
+    /// bumps only ever raise activities, so sifting up suffices).
+    pub fn bumped(&mut self, var: SatVar, act: &[f64]) {
+        if let Some(&p) = self.pos.get(var as usize) {
+            if p != ABSENT {
+                self.sift_up(p as usize, act);
+            }
+        }
+    }
+
+    /// Re-heapifies the current contents (deterministic bottom-up
+    /// heapify). Needed after a global activity rescale: uniform scaling
+    /// preserves strict order but underflow can collapse near-zero
+    /// activities into ties, whose index tiebreak may disagree with the
+    /// stored layout.
+    pub fn rebuild(&mut self, act: &[f64]) {
+        for i in (0..self.heap.len() / 2).rev() {
+            self.sift_down(i, act);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if precedes(act, self.heap[i], self.heap[parent]) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && precedes(act, self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && precedes(act, self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i as u32;
+        self.pos[self.heap[j] as usize] = j as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order_with_index_tiebreak() {
+        let act = vec![1.0, 3.0, 3.0, 0.5, 2.0];
+        let mut h = ActivityHeap::new();
+        for v in [4u32, 2, 0, 3, 1] {
+            h.insert(v, &act);
+        }
+        let order: Vec<SatVar> = std::iter::from_fn(|| h.pop(&act)).collect();
+        assert_eq!(order, vec![1, 2, 4, 0, 3]);
+    }
+
+    #[test]
+    fn insert_is_idempotent_and_contains_tracks_membership() {
+        let act = vec![0.0; 3];
+        let mut h = ActivityHeap::new();
+        h.insert(1, &act);
+        h.insert(1, &act);
+        assert_eq!(h.len(), 1);
+        assert!(h.contains(1));
+        assert!(!h.contains(0));
+        assert_eq!(h.pop(&act), Some(1));
+        assert!(h.is_empty());
+        assert_eq!(h.pop(&act), None);
+    }
+
+    #[test]
+    fn bumped_restores_order_after_an_activity_raise() {
+        let mut act = vec![1.0, 2.0, 3.0];
+        let mut h = ActivityHeap::new();
+        for v in 0..3 {
+            h.insert(v, &act);
+        }
+        act[0] = 10.0;
+        h.bumped(0, &act);
+        assert_eq!(h.pop(&act), Some(0));
+        assert_eq!(h.pop(&act), Some(2));
+        assert_eq!(h.pop(&act), Some(1));
+    }
+}

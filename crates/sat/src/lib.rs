@@ -8,10 +8,12 @@
 //!
 //! The solver ([`solver::Solver`]) implements the standard modern recipe:
 //! two-watched-literal propagation, first-UIP conflict analysis with
-//! clause learning, VSIDS-style activity decision heuristics, phase saving,
-//! geometric restarts, and incremental solving under assumptions — plus
+//! clause learning, a heap-indexed VSIDS decision order ([`heap`]), phase
+//! saving, Luby restarts, learnt-clause database reduction (activity/LBD
+//! ranked), and incremental solving under assumptions — plus
 //! conflict-budgeted queries ([`solver::Solver::solve_limited`]) for
-//! approximate attacks.
+//! approximate attacks. Effort counters are surfaced as
+//! [`solver::SolverStats`] on every attack row.
 //!
 //! [`miter`] builds *key-conditioned* miters over locked circuits, the
 //! substrate of the oracle-guided SAT attack implemented in
@@ -36,10 +38,12 @@ pub mod cnf;
 pub mod dimacs;
 pub mod double_dip;
 pub mod equiv;
+pub mod heap;
 pub mod miter;
 pub mod solver;
 
 pub use double_dip::{DoubleDipMiter, TwoDipSearch};
 pub use equiv::{check_equivalence, check_equivalence_limited, test_stuck_at, Equivalence};
+pub use heap::ActivityHeap;
 pub use miter::{DipSearch, KeyMiter};
-pub use solver::{SatLit, SatResult, SatVar, Solver};
+pub use solver::{SatLit, SatResult, SatVar, Solver, SolverStats};

@@ -2,11 +2,17 @@
 //!
 //! The implementation follows the MiniSat architecture: two watched literals
 //! per clause, first-UIP learning, VSIDS activities with exponential decay,
-//! phase saving, and geometric restarts. It is deliberately compact — the
-//! workloads in this workspace (CEC miters and ATPG queries over circuits of
-//! a few thousand gates) do not need preprocessing or clause-database
-//! reduction to solve in milliseconds.
+//! phase saving, Luby restarts, and incremental solving under assumptions.
+//! Decisions come from an indexed max-heap ([`crate::heap::ActivityHeap`])
+//! with a deterministic total order (activity descending, variable index
+//! ascending on ties), and learnt clauses carry activities and LBD scores
+//! so the database can be periodically reduced — cold, high-LBD learnts are
+//! dropped while glue clauses and active reasons survive. Both matter for
+//! the attack workloads in this workspace: key-conditioned (and four-copy
+//! 2-DIP) miters run thousands of incremental queries over the same solver,
+//! and without reduction the learnt database grows without bound.
 
+use crate::heap::ActivityHeap;
 use std::fmt;
 
 /// A solver variable (0-based index).
@@ -74,6 +80,25 @@ pub enum SatResult {
     Unsat,
 }
 
+/// Cumulative solver-effort counters, surfaced on every attack row so
+/// heuristic changes are audited behaviourally (see the release-mode
+/// envelope test) and perf regressions show up in the bench CSVs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Decision-literal picks.
+    pub decisions: u64,
+    /// Literals propagated off the trail.
+    pub propagations: u64,
+    /// Conflicts analysed (= clauses learnt, counting unit learnts).
+    pub conflicts: u64,
+    /// Restarts performed (Luby schedule).
+    pub restarts: u64,
+    /// Learnt clauses currently alive in the database.
+    pub learnts_kept: u64,
+    /// Learnt clauses deleted by database reduction (cumulative).
+    pub learnts_deleted: u64,
+}
+
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Value {
     True,
@@ -83,9 +108,33 @@ enum Value {
 
 const INVALID_CLAUSE: u32 = u32::MAX;
 
+/// Learnt clauses at or below this LBD ("glue" clauses) are never deleted.
+const GLUE_LBD: u32 = 2;
+
+/// Initial live-learnt count that triggers a database reduction; grows
+/// geometrically after each reduction.
+const DEFAULT_REDUCE_THRESHOLD: usize = 4000;
+
+/// Luby restart unit, in conflicts.
+const RESTART_BASE: u64 = 100;
+
+/// A stored clause: original clauses keep only their literals; learnt
+/// clauses additionally carry an activity (bumped when they participate in
+/// conflict analysis) and their literal-block distance at learn time.
+/// Deleted clauses keep their slot (watch lists and reasons index by slot)
+/// with `lits` emptied; slots are recycled through a free list.
+struct Clause {
+    lits: Vec<SatLit>,
+    learnt: bool,
+    activity: f64,
+    lbd: u32,
+}
+
 /// A CDCL SAT solver; see the [module documentation](self).
 pub struct Solver {
-    clauses: Vec<Vec<SatLit>>,
+    clauses: Vec<Clause>,
+    /// Recycled slots of deleted clauses.
+    free: Vec<u32>,
     watches: Vec<Vec<u32>>,
     assign: Vec<Value>,
     phase: Vec<bool>,
@@ -96,13 +145,21 @@ pub struct Solver {
     qhead: usize,
     activity: Vec<f64>,
     var_inc: f64,
+    /// VSIDS decision order over unassigned variables.
+    order: ActivityHeap,
+    cla_inc: f64,
     seen: Vec<bool>,
     /// Set when an empty clause (or a root-level conflict) makes the formula
     /// trivially unsatisfiable.
     unsat: bool,
+    db_reduction: bool,
+    reduce_threshold: usize,
+    num_learnts: usize,
     num_conflicts: u64,
     num_decisions: u64,
     num_propagations: u64,
+    num_restarts: u64,
+    num_learnts_deleted: u64,
 }
 
 impl Default for Solver {
@@ -116,6 +173,7 @@ impl Solver {
     pub fn new() -> Self {
         Solver {
             clauses: Vec::new(),
+            free: Vec::new(),
             watches: Vec::new(),
             assign: Vec::new(),
             phase: Vec::new(),
@@ -126,11 +184,18 @@ impl Solver {
             qhead: 0,
             activity: Vec::new(),
             var_inc: 1.0,
+            order: ActivityHeap::new(),
+            cla_inc: 1.0,
             seen: Vec::new(),
             unsat: false,
+            db_reduction: true,
+            reduce_threshold: DEFAULT_REDUCE_THRESHOLD,
+            num_learnts: 0,
             num_conflicts: 0,
             num_decisions: 0,
             num_propagations: 0,
+            num_restarts: 0,
+            num_learnts_deleted: 0,
         }
     }
 
@@ -145,6 +210,7 @@ impl Solver {
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.order.insert(v, &self.activity);
         v
     }
 
@@ -153,18 +219,46 @@ impl Solver {
         self.assign.len()
     }
 
-    /// Number of clauses (original + learnt).
+    /// Number of live clauses (original + learnt).
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len()
+        self.clauses.len() - self.free.len()
     }
 
-    /// Statistics: (decisions, propagations, conflicts).
-    pub fn stats(&self) -> (u64, u64, u64) {
-        (
-            self.num_decisions,
-            self.num_propagations,
-            self.num_conflicts,
-        )
+    /// Cumulative effort statistics.
+    pub fn stats(&self) -> SolverStats {
+        SolverStats {
+            decisions: self.num_decisions,
+            propagations: self.num_propagations,
+            conflicts: self.num_conflicts,
+            restarts: self.num_restarts,
+            learnts_kept: self.num_learnts as u64,
+            learnts_deleted: self.num_learnts_deleted,
+        }
+    }
+
+    /// Enables or disables learnt-clause database reduction (on by
+    /// default). Reduction only ever drops *learnt* clauses — which are
+    /// implied by the original formula — so verdicts are unaffected; the
+    /// soundness tests cross-check a reducing solver against a
+    /// non-reducing one.
+    pub fn set_db_reduction(&mut self, enabled: bool) {
+        self.db_reduction = enabled;
+    }
+
+    /// Overrides the live-learnt count that triggers the next database
+    /// reduction (default 4000). Primarily a test/tuning hook: a tiny
+    /// threshold forces reductions on small instances.
+    pub fn set_reduce_threshold(&mut self, threshold: usize) {
+        self.reduce_threshold = threshold.max(1);
+    }
+
+    /// True when every unassigned variable is queued in the decision heap —
+    /// the invariant that makes [`Solver::solve`]'s `decide` loop complete.
+    /// Exposed for the property tests; not part of the stable API.
+    #[doc(hidden)]
+    pub fn decision_heap_consistent(&self) -> bool {
+        (0..self.assign.len())
+            .all(|v| self.assign[v] != Value::Unassigned || self.order.contains(v as SatVar))
     }
 
     fn lit_value(&self, lit: SatLit) -> Value {
@@ -224,11 +318,97 @@ impl Solver {
                 }
             }
             _ => {
-                let idx = self.clauses.len() as u32;
-                self.watches[simplified[0].index()].push(idx);
-                self.watches[simplified[1].index()].push(idx);
-                self.clauses.push(simplified);
+                self.alloc_clause(simplified, false, 0);
             }
+        }
+    }
+
+    /// Stores a clause (recycling a deleted slot when one exists) and
+    /// attaches its first two literals to the watch lists.
+    fn alloc_clause(&mut self, lits: Vec<SatLit>, learnt: bool, lbd: u32) -> u32 {
+        debug_assert!(lits.len() >= 2, "stored clauses have at least 2 literals");
+        let (w0, w1) = (lits[0], lits[1]);
+        let clause = Clause {
+            lits,
+            learnt,
+            activity: if learnt { self.cla_inc } else { 0.0 },
+            lbd,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.clauses[i as usize] = clause;
+                i
+            }
+            None => {
+                self.clauses.push(clause);
+                (self.clauses.len() - 1) as u32
+            }
+        };
+        self.watches[w0.index()].push(idx);
+        self.watches[w1.index()].push(idx);
+        if learnt {
+            self.num_learnts += 1;
+        }
+        idx
+    }
+
+    /// Removes a clause from the database: detaches its watches, empties
+    /// its literal list, and recycles the slot.
+    fn detach_clause(&mut self, ci: u32) {
+        let (w0, w1) = {
+            let c = &self.clauses[ci as usize];
+            (c.lits[0], c.lits[1])
+        };
+        for w in [w0, w1] {
+            let list = &mut self.watches[w.index()];
+            let p = list
+                .iter()
+                .position(|&x| x == ci)
+                .expect("live clause is watched by its first two literals");
+            list.swap_remove(p);
+        }
+        let c = &mut self.clauses[ci as usize];
+        c.lits = Vec::new();
+        if c.learnt {
+            self.num_learnts -= 1;
+            self.num_learnts_deleted += 1;
+        }
+        self.free.push(ci);
+    }
+
+    /// True when `ci` is the reason of its asserting literal's current
+    /// assignment (such clauses must survive reduction).
+    fn clause_is_locked(&self, ci: u32) -> bool {
+        let v = self.clauses[ci as usize].lits[0].var() as usize;
+        self.reason[v] == ci && self.assign[v] != Value::Unassigned
+    }
+
+    /// Deletes the cold half of the deletable learnt clauses: glue clauses
+    /// (LBD ≤ 2), binary clauses and active reasons are kept; the rest are
+    /// ranked by activity (LBD and slot index as deterministic tiebreaks)
+    /// and the bottom half is dropped.
+    fn reduce_db(&mut self) {
+        let mut cands: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&ci| {
+                let c = &self.clauses[ci as usize];
+                !c.lits.is_empty()
+                    && c.learnt
+                    && c.lits.len() > 2
+                    && c.lbd > GLUE_LBD
+                    && !self.clause_is_locked(ci)
+            })
+            .collect();
+        cands.sort_by(|&a, &b| {
+            let (ca, cb) = (&self.clauses[a as usize], &self.clauses[b as usize]);
+            ca.activity
+                .partial_cmp(&cb.activity)
+                .expect("clause activities are never NaN")
+                .then(cb.lbd.cmp(&ca.lbd))
+                .then(a.cmp(&b))
+        });
+        cands.truncate(cands.len() / 2);
+        for ci in cands {
+            self.detach_clause(ci);
         }
     }
 
@@ -273,7 +453,7 @@ impl Solver {
                     Unit(SatLit),
                 }
                 let action = {
-                    let clause = &mut self.clauses[ci as usize];
+                    let clause = &mut self.clauses[ci as usize].lits;
                     // Ensure the false literal is at position 1.
                     if clause[0] == false_lit {
                         clause.swap(0, 1);
@@ -328,7 +508,36 @@ impl Solver {
                 *a *= 1e-100;
             }
             self.var_inc *= 1e-100;
+            // Uniform scaling preserves strict order but can collapse tiny
+            // activities into ties; re-heapify so the heap property holds
+            // under the (index-tiebroken) total order.
+            self.order.rebuild(&self.activity);
         }
+        self.order.bumped(v as SatVar, &self.activity);
+    }
+
+    fn bump_clause(&mut self, ci: u32) {
+        if !self.clauses[ci as usize].learnt {
+            return;
+        }
+        self.clauses[ci as usize].activity += self.cla_inc;
+        if self.clauses[ci as usize].activity > 1e20 {
+            for c in &mut self.clauses {
+                if c.learnt {
+                    c.activity *= 1e-20;
+                }
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// Literal-block distance: number of distinct decision levels among the
+    /// clause's literals (computed at learn time, before backjumping).
+    fn clause_lbd(&self, lits: &[SatLit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var() as usize]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
     }
 
     /// First-UIP conflict analysis. Returns (learnt clause, backjump level).
@@ -341,10 +550,12 @@ impl Solver {
         let current_level = self.trail_lim.len() as u32;
 
         loop {
+            // Clauses that drive conflicts are the ones worth keeping.
+            self.bump_clause(clause_idx);
             let start = if lit.is_none() { 0 } else { 1 };
-            let clause_len = self.clauses[clause_idx as usize].len();
+            let clause_len = self.clauses[clause_idx as usize].lits.len();
             for k in start..clause_len {
-                let q = self.clauses[clause_idx as usize][k];
+                let q = self.clauses[clause_idx as usize].lits[k];
                 let v = q.var() as usize;
                 if !self.seen[v] && self.level[v] > 0 {
                     self.seen[v] = true;
@@ -408,26 +619,23 @@ impl Solver {
                 let v = lit.var() as usize;
                 self.assign[v] = Value::Unassigned;
                 self.reason[v] = INVALID_CLAUSE;
+                self.order.insert(v as SatVar, &self.activity);
             }
         }
         self.qhead = self.trail.len();
     }
 
+    /// Picks the unassigned variable ordered first by the VSIDS heap.
+    /// Variables assigned by propagation are skipped lazily (backtracking
+    /// re-inserts every unassigned variable), and ties on activity resolve
+    /// to the lowest index, so the pick is deterministic.
     fn decide(&mut self) -> Option<SatLit> {
-        let mut best: Option<usize> = None;
-        for v in 0..self.assign.len() {
-            if self.assign[v] == Value::Unassigned {
-                match best {
-                    None => best = Some(v),
-                    Some(b) => {
-                        if self.activity[v] > self.activity[b] {
-                            best = Some(v);
-                        }
-                    }
-                }
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assign[v as usize] == Value::Unassigned {
+                return Some(SatLit::new(v, !self.phase[v as usize]));
             }
         }
-        best.map(|v| SatLit::new(v as SatVar, !self.phase[v]))
+        None
     }
 
     /// Solves the formula under the given assumptions.
@@ -465,7 +673,8 @@ impl Solver {
             return Some(SatResult::Unsat);
         }
 
-        let mut restart_limit = 100u64;
+        let mut curr_restarts = 0u64;
+        let mut restart_limit = luby(curr_restarts) * RESTART_BASE;
         let mut conflicts_since_restart = 0u64;
         let mut conflicts_this_call = 0u64;
 
@@ -491,6 +700,7 @@ impl Solver {
                 }
                 // Decay activities.
                 self.var_inc /= 0.95;
+                self.cla_inc /= 0.999;
                 let asserting = learnt[0];
                 if learnt.len() == 1 {
                     // A unit learnt must live at the root: enqueueing it at
@@ -506,14 +716,17 @@ impl Solver {
                         return Some(SatResult::Unsat);
                     }
                 } else {
+                    // LBD is measured before backjumping unassigns levels.
+                    let lbd = self.clause_lbd(&learnt);
                     let backjump = backjump.max(num_assumed_levels(assumptions, self));
                     self.cancel_until(backjump);
-                    let idx = self.clauses.len() as u32;
-                    self.watches[learnt[0].index()].push(idx);
-                    self.watches[learnt[1].index()].push(idx);
-                    self.clauses.push(learnt);
+                    let idx = self.alloc_clause(learnt, true, lbd);
                     let ok = self.enqueue(asserting, idx);
                     debug_assert!(ok, "asserting literal must be enqueueable");
+                }
+                if self.db_reduction && self.num_learnts >= self.reduce_threshold {
+                    self.reduce_db();
+                    self.reduce_threshold += self.reduce_threshold / 2;
                 }
                 if conflicts_this_call >= max_conflicts {
                     self.cancel_until(0);
@@ -521,7 +734,9 @@ impl Solver {
                 }
                 if conflicts_since_restart >= restart_limit {
                     conflicts_since_restart = 0;
-                    restart_limit = restart_limit + restart_limit / 2;
+                    curr_restarts += 1;
+                    restart_limit = luby(curr_restarts) * RESTART_BASE;
+                    self.num_restarts += 1;
                     self.cancel_until(num_assumed_levels(assumptions, self));
                 }
                 continue;
@@ -575,6 +790,23 @@ impl Solver {
     pub fn lit_bool(&self, lit: SatLit) -> Option<bool> {
         self.value(lit.var()).map(|v| v ^ lit.is_negative())
     }
+}
+
+/// The Luby restart sequence 1, 1, 2, 1, 1, 2, 4, … (`i` is 0-based).
+fn luby(i: u64) -> u64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut i = i;
+    while size - 1 != i {
+        size = (size - 1) / 2;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
 }
 
 /// Literal value lookup over the assignment array (a free function so it can
@@ -780,6 +1012,12 @@ mod tests {
             }
         }
     }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let prefix: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(prefix, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
 }
 
 #[cfg(test)]
@@ -807,8 +1045,7 @@ mod more_tests {
             }
         }
         assert_eq!(s.solve(&[]), SatResult::Unsat);
-        let (_, _, conflicts) = s.stats();
-        assert!(conflicts > 0, "UNSAT proof requires conflicts");
+        assert!(s.stats().conflicts > 0, "UNSAT proof requires conflicts");
     }
 
     #[test]
@@ -893,5 +1130,65 @@ mod more_tests {
         assert_eq!(s.solve(&[]), SatResult::Sat);
         assert_eq!(s.solve(&[!a]), SatResult::Sat);
         assert_eq!(s.lit_bool(b), Some(true));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // hole index j is clearest as written
+    fn db_reduction_keeps_unsat_verdicts_and_deletes_learnts() {
+        // Pigeonhole 7-into-6 generates plenty of learnt clauses; with a
+        // tiny reduction threshold the database must actually shrink while
+        // the UNSAT verdict is unaffected (learnt clauses are implied).
+        let mut s = Solver::new();
+        s.set_reduce_threshold(20);
+        let mut p = vec![[SatLit::positive(0); 6]; 7];
+        for row in p.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = SatLit::positive(s.new_var());
+            }
+        }
+        for row in &p {
+            s.add_clause(row);
+        }
+        for j in 0..6 {
+            for i1 in 0..7 {
+                for i2 in (i1 + 1)..7 {
+                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+        let stats = s.stats();
+        assert!(
+            stats.learnts_deleted > 0,
+            "a 20-clause threshold must trigger reduction (stats: {stats:?})"
+        );
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // hole index j is clearest as written
+    fn restarts_are_counted_under_the_luby_schedule() {
+        // Any instance needing > RESTART_BASE conflicts restarts at least
+        // once; pigeonhole 7-into-6 comfortably qualifies.
+        let mut s = Solver::new();
+        let mut p = vec![[SatLit::positive(0); 6]; 7];
+        for row in p.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = SatLit::positive(s.new_var());
+            }
+        }
+        for row in &p {
+            s.add_clause(row);
+        }
+        for j in 0..6 {
+            for i1 in 0..7 {
+                for i2 in (i1 + 1)..7 {
+                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+        let stats = s.stats();
+        assert!(stats.conflicts > 100);
+        assert!(stats.restarts > 0, "stats: {stats:?}");
     }
 }

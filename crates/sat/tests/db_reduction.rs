@@ -1,0 +1,167 @@
+//! Learnt-clause database reduction soundness.
+//!
+//! Reduction only ever deletes *learnt* clauses, which are implied by the
+//! original formula, so a solver that reduces aggressively must agree
+//! verdict-for-verdict with one that never reduces — on a randomized CNF
+//! corpus spanning SAT and UNSAT instances. Small instances are
+//! additionally cross-checked against brute-force enumeration, and hard
+//! structured instances (pigeonhole) confirm reductions actually fire.
+
+use almost_sat::solver::{SatLit, SatResult, SatVar, Solver};
+
+/// Deterministic xorshift stream.
+fn stream(mut state: u64) -> impl FnMut() -> u64 {
+    state |= 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    }
+}
+
+fn random_3sat(seed: u64, nvars: u64, nclauses: usize) -> Vec<Vec<SatLit>> {
+    let mut next = stream(seed);
+    (0..nclauses)
+        .map(|_| {
+            (0..3)
+                .map(|_| SatLit::new((next() % nvars) as SatVar, next().is_multiple_of(2)))
+                .collect()
+        })
+        .collect()
+}
+
+fn solve_instance(clauses: &[Vec<SatLit>], nvars: u64, reduce: bool) -> (SatResult, Solver) {
+    let mut s = Solver::new();
+    s.set_db_reduction(reduce);
+    if reduce {
+        // Force reductions even on instances that learn only a few dozen
+        // clauses.
+        s.set_reduce_threshold(12);
+    }
+    for _ in 0..nvars {
+        s.new_var();
+    }
+    for cl in clauses {
+        s.add_clause(cl);
+    }
+    let verdict = s.solve(&[]);
+    (verdict, s)
+}
+
+fn model_satisfies(s: &Solver, clauses: &[Vec<SatLit>]) -> bool {
+    clauses
+        .iter()
+        .all(|cl| cl.iter().any(|&l| s.lit_bool(l).unwrap_or(false)))
+}
+
+#[test]
+fn reduced_solver_agrees_with_unreduced_on_a_random_corpus() {
+    // Clause/variable ratios from under-constrained (mostly SAT) through
+    // the ~4.26 phase transition (hard, mixed verdicts) to
+    // over-constrained (mostly UNSAT).
+    let mut sat_seen = 0;
+    let mut unsat_seen = 0;
+    for round in 0..30u64 {
+        let nvars = 24 + (round % 5) * 4;
+        let ratio_x10 = [30, 38, 43, 47, 55][(round % 5) as usize];
+        let nclauses = (nvars as usize * ratio_x10) / 10;
+        let clauses = random_3sat(
+            0xD1CE ^ round.wrapping_mul(0x9E3779B97F4A7C15),
+            nvars,
+            nclauses,
+        );
+
+        let (with_reduce, s_reduced) = solve_instance(&clauses, nvars, true);
+        let (without, s_plain) = solve_instance(&clauses, nvars, false);
+        assert_eq!(
+            with_reduce, without,
+            "round {round}: reduced and unreduced solvers must agree"
+        );
+        match with_reduce {
+            SatResult::Sat => {
+                sat_seen += 1;
+                assert!(
+                    model_satisfies(&s_reduced, &clauses),
+                    "round {round}: reduced model"
+                );
+                assert!(
+                    model_satisfies(&s_plain, &clauses),
+                    "round {round}: plain model"
+                );
+            }
+            SatResult::Unsat => unsat_seen += 1,
+        }
+    }
+    assert!(sat_seen > 0, "corpus must contain satisfiable instances");
+    assert!(
+        unsat_seen > 0,
+        "corpus must contain unsatisfiable instances"
+    );
+}
+
+#[test]
+fn reduced_solver_matches_brute_force_on_small_instances() {
+    for round in 0..12u64 {
+        let nvars = 12u64;
+        let nclauses = 50;
+        let clauses = random_3sat(0xBF ^ round.wrapping_mul(0xABCD_EF01), nvars, nclauses);
+
+        let mut bf_sat = false;
+        'outer: for m in 0..(1u32 << nvars) {
+            for cl in &clauses {
+                if !cl
+                    .iter()
+                    .any(|l| ((m >> l.var()) & 1 != 0) ^ l.is_negative())
+                {
+                    continue 'outer;
+                }
+            }
+            bf_sat = true;
+            break;
+        }
+
+        let (verdict, _) = solve_instance(&clauses, nvars, true);
+        assert_eq!(
+            verdict,
+            if bf_sat {
+                SatResult::Sat
+            } else {
+                SatResult::Unsat
+            },
+            "round {round}"
+        );
+    }
+}
+
+#[test]
+#[allow(clippy::needless_range_loop)] // hole index j is clearest as written
+fn aggressive_reduction_fires_and_preserves_pigeonhole_unsat() {
+    let mut s = Solver::new();
+    s.set_reduce_threshold(8);
+    let (pigeons, holes) = (8usize, 7usize);
+    let mut p = vec![vec![SatLit::positive(0); holes]; pigeons];
+    for row in p.iter_mut() {
+        for slot in row.iter_mut() {
+            *slot = SatLit::positive(s.new_var());
+        }
+    }
+    for row in &p {
+        s.add_clause(row);
+    }
+    for j in 0..holes {
+        for i1 in 0..pigeons {
+            for i2 in (i1 + 1)..pigeons {
+                s.add_clause(&[!p[i1][j], !p[i2][j]]);
+            }
+        }
+    }
+    assert_eq!(s.solve(&[]), SatResult::Unsat);
+    let stats = s.stats();
+    assert!(
+        stats.learnts_deleted > stats.learnts_kept,
+        "an 8-clause threshold must delete aggressively (stats: {stats:?})"
+    );
+    // Incremental re-use still works after heavy reduction.
+    assert_eq!(s.solve(&[]), SatResult::Unsat);
+}

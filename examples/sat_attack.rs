@@ -52,6 +52,15 @@ fn main() {
     println!("  UNSAT proof:       {}", outcome.proved_exact);
     println!("  key-bit agreement: {:.1}%", outcome.accuracy * 100.0);
     println!("  wall time:         {elapsed:?}");
+    println!(
+        "  solver effort:     {} decisions, {} propagations, {} conflicts, {} restarts ({} learnts kept / {} deleted)",
+        outcome.solver.decisions,
+        outcome.solver.propagations,
+        outcome.solver.conflicts,
+        outcome.solver.restarts,
+        outcome.solver.learnts_kept,
+        outcome.solver.learnts_deleted
+    );
     assert!(outcome.proved_exact, "exact mode must finish with a proof");
 
     // Independent verification: unlock the deployed netlist with the

@@ -128,6 +128,7 @@ fn main() {
                 dips: run.iterations.len(),
                 finished: run.proved_exact,
                 correct: run.proved_exact,
+                solver: run.solver,
             });
         }
     }
