@@ -135,9 +135,12 @@ impl ProxyModel {
         if graphs.is_empty() {
             return 0.0;
         }
+        // One reused tape across the probe batch (the SA inner loop calls
+        // this per candidate recipe — no per-graph allocation).
+        let mut tape = almost_ml::tape::Tape::new();
         let mut total = 0.0f64;
         for g in graphs {
-            let p = self.classifier.predict(g);
+            let p = self.classifier.predict_with(&mut tape, g);
             // Reconstruct logit-space BCE from the probability (clamped).
             let p = p.clamp(1e-6, 1.0 - 1e-6);
             let z = (p / (1.0 - p)).ln();

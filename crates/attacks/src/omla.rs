@@ -12,6 +12,7 @@ use crate::subgraph::{extract_all_localities, SubgraphConfig, NUM_FEATURES};
 use almost_aig::{Aig, Script};
 use almost_locking::{relock, Rll};
 use almost_ml::gin::{GinClassifier, Graph};
+use almost_ml::tape::Tape;
 use almost_ml::train::{train, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -134,7 +135,13 @@ impl Omla {
             &dummy_labels,
             &self.config.subgraph,
         );
-        graphs.iter().map(|g| model.predict(g)).collect()
+        // One reused tape across the key bits: prediction allocates
+        // nothing after the first locality.
+        let mut tape = Tape::new();
+        graphs
+            .iter()
+            .map(|g| model.predict_with(&mut tape, g))
+            .collect()
     }
 
     /// Full evaluation path used by the ALMOST framework: accuracy of

@@ -6,8 +6,13 @@
 //! (its accuracy estimates are unreliable off-distribution); with M\* the
 //! search needs more iterations because the adversarially trained model
 //! keeps seeing through weak recipes.
+//!
+//! Every (bench, evaluator) cell trains its own proxy and runs its own SA
+//! search — independent work, fanned out on the shared worker pool
+//! (`ALMOST_JOBS` sets the width; results are re-assembled in job order,
+//! so the printed series and the CSV are identical to a serial run).
 
-use almost_bench::{banner, experiment_benchmarks, lock_benchmark, write_csv};
+use almost_bench::{banner, experiment_benchmarks, lock_benchmark, pool, write_csv};
 use almost_core::{generate_secure_recipe, train_proxy, ProxyKind, Scale};
 
 fn main() {
@@ -17,48 +22,82 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut iters_to_50: Vec<(ProxyKind, f64)> = Vec::new();
 
-    for bench in experiment_benchmarks(scale, true) {
-        let locked = lock_benchmark(bench, key_size);
+    const KINDS: [ProxyKind; 3] = [ProxyKind::Adversarial, ProxyKind::Resyn2, ProxyKind::Random];
+    let benches = experiment_benchmarks(scale, true);
+    // Lock each benchmark once (deterministic) and share the locked
+    // circuit across its three evaluator jobs.
+    let lockeds: Vec<_> = benches
+        .iter()
+        .map(|&bench| lock_benchmark(bench, key_size))
+        .collect();
+    let mut jobs = Vec::new();
+    for (&bench, locked) in benches.iter().zip(&lockeds) {
+        for (i, kind) in KINDS.into_iter().enumerate() {
+            jobs.push((bench, locked, i, kind));
+        }
+    }
+
+    struct Cell {
+        kind: ProxyKind,
+        series: Vec<f64>,
+        hit: usize,
+        line: String,
+    }
+    let cells: Vec<Cell> = pool::map_indexed(jobs, |_, (bench, locked, i, kind)| {
+        let proxy = train_proxy(locked, kind, &scale.proxy_config(0x41 + i as u64));
+        let sa = scale.sa_config(0xF164 + i as u64);
+        let result = generate_secure_recipe(locked, &proxy, &sa);
+        // Iterations until the accuracy first dips within 2% of 0.5.
+        let hit = result
+            .accuracy_series
+            .iter()
+            .position(|a| (a - 0.5).abs() <= 0.02)
+            .map(|p| p + 1)
+            .unwrap_or(sa.iterations + 1);
+        let line = format!(
+            "  [{}] final acc {:.2}% recipe {} (reached ~50% at iter {})",
+            kind.label(),
+            result.accuracy * 100.0,
+            result.recipe,
+            if hit <= sa.iterations {
+                hit.to_string()
+            } else {
+                "never".into()
+            }
+        );
+        // Liveness marker (stderr, completion order): the ordered table
+        // prints only after every pool cell finishes.
+        eprintln!("  [cell done] {} {}", bench.name(), kind.label());
+        Cell {
+            kind,
+            series: result.accuracy_series,
+            hit,
+            line,
+        }
+    });
+
+    for (b, bench) in benches.iter().enumerate() {
         println!("\n{} (key {key_size}):", bench.name());
         println!("  iter  M*      M_resyn2  M_random");
-        let mut series: Vec<Vec<f64>> = Vec::new();
-        for (i, kind) in [ProxyKind::Adversarial, ProxyKind::Resyn2, ProxyKind::Random]
-            .into_iter()
-            .enumerate()
-        {
-            let proxy = train_proxy(&locked, kind, &scale.proxy_config(0x41 + i as u64));
-            let sa = scale.sa_config(0xF164 + i as u64);
-            let result = generate_secure_recipe(&locked, &proxy, &sa);
-            // Iterations until the accuracy first dips within 2% of 0.5.
-            let hit = result
-                .accuracy_series
-                .iter()
-                .position(|a| (a - 0.5).abs() <= 0.02)
-                .map(|p| p + 1)
-                .unwrap_or(sa.iterations + 1);
-            iters_to_50.push((kind, hit as f64));
-            series.push(result.accuracy_series.clone());
-            println!(
-                "  [{}] final acc {:.2}% recipe {} (reached ~50% at iter {})",
-                kind.label(),
-                result.accuracy * 100.0,
-                result.recipe,
-                if hit <= sa.iterations {
-                    hit.to_string()
-                } else {
-                    "never".into()
-                }
-            );
+        let per_bench = &cells[b * KINDS.len()..(b + 1) * KINDS.len()];
+        for cell in per_bench {
+            iters_to_50.push((cell.kind, cell.hit as f64));
+            println!("{}", cell.line);
         }
-        let len = series.iter().map(Vec::len).max().unwrap_or(0);
+        let len = per_bench.iter().map(|c| c.series.len()).max().unwrap_or(0);
         for it in 0..len {
-            let get = |s: &Vec<f64>| s.get(it).map(|a| format!("{a:.4}")).unwrap_or_default();
+            let get = |c: &Cell| {
+                c.series
+                    .get(it)
+                    .map(|a| format!("{a:.4}"))
+                    .unwrap_or_default()
+            };
             rows.push(vec![
                 bench.name().into(),
                 (it + 1).to_string(),
-                get(&series[0]),
-                get(&series[1]),
-                get(&series[2]),
+                get(&per_bench[0]),
+                get(&per_bench[1]),
+                get(&per_bench[2]),
             ]);
         }
     }

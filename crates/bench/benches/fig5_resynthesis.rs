@@ -5,8 +5,13 @@
 //! Paper shape to reproduce: the PPA metric improves over iterations while
 //! attack accuracy wanders with **no usable correlation** — re-synthesis
 //! gives the attacker no gradient back to a learnable structure.
+//!
+//! Each benchmark (proxy training + secure-recipe search + two
+//! re-synthesis searches) is an independent job fanned out on the shared
+//! worker pool; results come back in job order, so console lines and CSV
+//! rows are identical to a serial run (`ALMOST_JOBS=1`).
 
-use almost_bench::{banner, experiment_benchmarks, lock_benchmark, write_csv};
+use almost_bench::{banner, experiment_benchmarks, lock_benchmark, pool, write_csv};
 use almost_core::{
     generate_secure_recipe, resynthesis_search, train_proxy, PpaObjective, ProxyKind, Recipe, Scale,
 };
@@ -15,12 +20,18 @@ use almost_netlist::{analyze, map_aig, CellLibrary, MapConfig};
 fn main() {
     let scale = Scale::from_env();
     banner("Fig. 5: attacker re-synthesis for delay/area", scale);
-    let lib = CellLibrary::nangate45();
     let key_size = scale.key_sizes()[0];
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut correlations = Vec::new();
 
-    for bench in experiment_benchmarks(scale, true) {
+    /// One benchmark's console lines, CSV rows and correlations.
+    type Cell = (Vec<String>, Vec<Vec<String>>, Vec<f64>);
+    let lib = CellLibrary::nangate45();
+    let lib = &lib;
+    let cells: Vec<Cell> = pool::map_indexed(experiment_benchmarks(scale, true), |_, bench| {
+        let mut lines: Vec<String> = Vec::new();
+        let mut cell_rows: Vec<Vec<String>> = Vec::new();
+        let mut cell_corrs: Vec<f64> = Vec::new();
         let locked = lock_benchmark(bench, key_size);
         let proxy = train_proxy(&locked, ProxyKind::Adversarial, &scale.proxy_config(0xF15));
         let search = generate_secure_recipe(&locked, &proxy, &scale.sa_config(0xF15));
@@ -28,8 +39,8 @@ fn main() {
 
         // Baseline PPA: resyn2 on the locked design (paper's reference).
         let base_aig = Recipe::resyn2().apply(&locked.aig);
-        let base_nl = map_aig(&base_aig, &lib, &MapConfig::no_opt());
-        let baseline = analyze(&base_nl, &base_aig, &lib, 4, 5);
+        let base_nl = map_aig(&base_aig, lib, &MapConfig::no_opt());
+        let baseline = analyze(&base_nl, &base_aig, lib, 4, 5);
 
         for objective in [PpaObjective::Delay, PpaObjective::Area] {
             let result = resynthesis_search(
@@ -37,23 +48,23 @@ fn main() {
                 &proxy,
                 objective,
                 &baseline,
-                &lib,
+                lib,
                 &scale.sa_config(0x5F1 ^ objective as u64),
             );
             let last = result.series.last().copied();
-            println!(
-                "{} minimize-{}: {} iters, final ratio {:.3}, final acc {:.2}%, corr(acc,{}) = {:+.3}",
-                bench.name(),
-                objective.label(),
-                result.series.len(),
-                last.map(|p| p.ratio).unwrap_or(f64::NAN),
-                last.map(|p| p.accuracy * 100.0).unwrap_or(f64::NAN),
-                objective.label(),
-                result.correlation
-            );
-            correlations.push(result.correlation);
+            lines.push(format!(
+                    "{} minimize-{}: {} iters, final ratio {:.3}, final acc {:.2}%, corr(acc,{}) = {:+.3}",
+                    bench.name(),
+                    objective.label(),
+                    result.series.len(),
+                    last.map(|p| p.ratio).unwrap_or(f64::NAN),
+                    last.map(|p| p.accuracy * 100.0).unwrap_or(f64::NAN),
+                    objective.label(),
+                    result.correlation
+                ));
+            cell_corrs.push(result.correlation);
             for (i, p) in result.series.iter().enumerate() {
-                rows.push(vec![
+                cell_rows.push(vec![
                     bench.name().into(),
                     objective.label().into(),
                     (i + 1).to_string(),
@@ -62,6 +73,18 @@ fn main() {
                 ]);
             }
         }
+        // Liveness marker (stderr, completion order): the ordered output
+        // prints only after every pool cell finishes.
+        eprintln!("  [cell done] {}", bench.name());
+        (lines, cell_rows, cell_corrs)
+    });
+
+    for (lines, cell_rows, cell_corrs) in cells {
+        for line in lines {
+            println!("{line}");
+        }
+        rows.extend(cell_rows);
+        correlations.extend(cell_corrs);
     }
 
     let mean_abs =

@@ -7,7 +7,7 @@
 //! do not transfer across recipes, motivating the proxy model M\*.
 
 use almost_attacks::{Omla, OmlaConfig};
-use almost_bench::{banner, lock_benchmark, pct, write_csv};
+use almost_bench::{banner, lock_benchmark, pct, pool, write_csv};
 use almost_circuits::IscasBenchmark;
 use almost_core::{ProxyConfig, Recipe, Scale};
 
@@ -37,16 +37,34 @@ fn main() {
     let deployments: Vec<_> = recipes.iter().map(|(_, r)| r.apply(&locked.aig)).collect();
     let positions: Vec<usize> = locked.key_input_positions().collect();
 
-    for (j, (model_name, recipe)) in recipes.iter().enumerate() {
-        let model = omla.train_model(&locked.aig, &recipe.as_script());
+    // One job per attack model M_Sj (the expensive GIN training); each job
+    // also evaluates its model on both test distributions. Jobs fan out on
+    // the shared pool and come back in job order, so the printed lines and
+    // CSV rows match a serial run.
+    let jobs: Vec<usize> = (0..recipes.len()).collect();
+    let per_model: Vec<Vec<f64>> = pool::map_indexed(jobs, |_, j| {
+        let model = omla.train_model(&locked.aig, &recipes[j].1.as_script());
+        let accs: Vec<f64> = deployments
+            .iter()
+            .map(|deployed| {
+                let probs = omla.predict_bits(&model, deployed, &positions);
+                let correct = probs
+                    .iter()
+                    .zip(locked.key.bits())
+                    .filter(|(&prob, &bit)| (prob >= 0.5) == bit)
+                    .count();
+                correct as f64 / positions.len() as f64
+            })
+            .collect();
+        // Liveness marker (stderr, completion order): the ordered output
+        // prints only after both models finish.
+        eprintln!("  [cell done] M_{}", recipes[j].0);
+        accs
+    });
+
+    for (j, (model_name, _)) in recipes.iter().enumerate() {
         for (i, (test_name, _)) in recipes.iter().enumerate() {
-            let probs = omla.predict_bits(&model, &deployments[i], &positions);
-            let correct = probs
-                .iter()
-                .zip(locked.key.bits())
-                .filter(|(&prob, &bit)| (prob >= 0.5) == bit)
-                .count();
-            let acc = correct as f64 / positions.len() as f64;
+            let acc = per_model[j][i];
             matrix[i][j] = acc;
             println!("accuracy(T_{test_name}, M_{model_name}) = {}%", pct(acc));
             rows.push(vec![

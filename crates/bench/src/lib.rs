@@ -7,12 +7,15 @@
 //! (default `quick`); see `almost_core::config::Scale`.
 //!
 //! The attack harnesses (`sat_attack`, `sat_resilience`, `table2_attacks`)
-//! fan their independent (bench, key-size) rows out across cores on the
+//! and the figure harnesses (`fig4_sa_search`, `fig5_resynthesis`,
+//! `transferability`) fan their independent rows out across cores on the
 //! [`pool`] work-stealing pool; worker count follows `ALMOST_JOBS` (set
 //! `ALMOST_JOBS=1` for the serial reference run — row content is
-//! identical either way, wall-clock columns aside).
+//! identical either way, wall-clock columns aside). The pool itself lives
+//! in the `almost_pool` crate (the GIN trainer uses it too); the `pool`
+//! path is kept as a re-export for the harnesses.
 
-pub mod pool;
+pub use almost_pool as pool;
 
 use almost_circuits::IscasBenchmark;
 use almost_core::Scale;

@@ -9,14 +9,20 @@
 
 use crate::nn::{BoundLinear, Linear};
 use crate::tape::{sigmoid, NodeId, Tape};
-use crate::tensor::Matrix;
+use crate::tensor::{Matrix, SparseMatrix};
+use std::sync::Arc;
 
-/// One input graph: a symmetric adjacency (with self-loops folded in) plus
-/// node features and a binary label.
+/// One input graph: a symmetric CSR adjacency (with self-loops folded in)
+/// plus node features and a binary label.
+///
+/// The adjacency is shared behind an [`Arc`] so cloning a `Graph` (the
+/// dataset utilities do) and recording it on a tape (every forward pass
+/// does) are both refcount bumps, not structure copies.
 #[derive(Clone, Debug)]
 pub struct Graph {
-    /// `Â = A + I`, n × n.
-    pub adj_hat: Matrix,
+    /// `Â = A + I`, n × n, symmetric, stored sparse (AIG localities have
+    /// fan-in ≤ 2, so `Â` carries ~3 entries per row).
+    pub adj_hat: Arc<SparseMatrix>,
     /// Node features, n × d.
     pub features: Matrix,
     /// The key bit (training target).
@@ -36,14 +42,8 @@ impl Graph {
         label: bool,
     ) -> Self {
         assert_eq!(features.rows(), num_nodes);
-        let mut adj = Matrix::identity(num_nodes);
-        for &(u, v) in edges {
-            assert!(u < num_nodes && v < num_nodes, "edge out of range");
-            adj.set(u, v, 1.0);
-            adj.set(v, u, 1.0);
-        }
         Graph {
-            adj_hat: adj,
+            adj_hat: Arc::new(SparseMatrix::adjacency_hat(num_nodes, edges)),
             features,
             label,
         }
@@ -150,7 +150,8 @@ impl GinClassifier {
         }
     }
 
-    /// Forward pass producing the logit node for one graph.
+    /// Forward pass producing the logit node for one graph, aggregating
+    /// neighbourhoods with the sparse [`Tape::spmm`] kernel.
     ///
     /// # Panics
     ///
@@ -158,27 +159,139 @@ impl GinClassifier {
     /// [`GinClassifier::input_dim`].
     pub fn forward(&self, tape: &mut Tape, bound: &BoundModel, graph: &Graph) -> NodeId {
         assert_eq!(graph.features.cols(), self.input_dim, "feature width");
-        let adj = tape.leaf(graph.adj_hat.clone());
-        let mut h = tape.leaf(graph.features.clone());
+        let mut h = tape.leaf_copy(&graph.features);
+        for (b1, b2) in &bound.convs {
+            let agg = tape.spmm(&graph.adj_hat, h);
+            h = self.conv_tail(tape, *b1, *b2, agg);
+        }
+        self.readout_head(tape, bound, h)
+    }
+
+    /// Dense-aggregation reference forward pass: materialises `Â` and
+    /// multiplies with the O(n²·d) dense kernel. Kept as the baseline the
+    /// sparse path is validated against (the parity suite) and timed
+    /// against (the `training_perf` harness) — the two produce
+    /// bit-identical logits, because CSR rows add the same products in
+    /// the same order as a dense row scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph's feature width differs from
+    /// [`GinClassifier::input_dim`].
+    pub fn forward_dense(&self, tape: &mut Tape, bound: &BoundModel, graph: &Graph) -> NodeId {
+        assert_eq!(graph.features.cols(), self.input_dim, "feature width");
+        let adj = tape.leaf(graph.adj_hat.to_dense());
+        let mut h = tape.leaf_copy(&graph.features);
         for (b1, b2) in &bound.convs {
             let agg = tape.matmul(adj, h);
-            let z1 = Linear::forward(*b1, tape, agg);
-            let a1 = tape.relu(z1);
-            let z2 = Linear::forward(*b2, tape, a1);
-            h = tape.relu(z2);
+            h = self.conv_tail(tape, *b1, *b2, agg);
         }
+        self.readout_head(tape, bound, h)
+    }
+
+    /// Batched forward pass: the graphs are fused into one block-diagonal
+    /// union (one spmm per GIN round for the whole minibatch, fatter MLP
+    /// matmuls) and the result is a `graphs.len()` × 1 logit column.
+    ///
+    /// Because every op involved treats rows independently — spmm rows
+    /// only reach within their own diagonal block, the MLPs are row-wise,
+    /// and pooling is per segment — row `b` of the output is
+    /// bit-identical to [`GinClassifier::forward`] on graph `b` alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` is empty or a feature width differs from
+    /// [`GinClassifier::input_dim`].
+    pub fn forward_batch(&self, tape: &mut Tape, bound: &BoundModel, graphs: &[&Graph]) -> NodeId {
+        let union = Arc::new(SparseMatrix::block_diagonal(
+            &graphs
+                .iter()
+                .map(|g| g.adj_hat.as_ref())
+                .collect::<Vec<_>>(),
+        ));
+        self.forward_union(tape, bound, graphs, |tape, h| tape.spmm(&union, h))
+    }
+
+    /// Batched dense-aggregation reference: identical structure to
+    /// [`GinClassifier::forward_batch`], but the union operator is
+    /// materialised and multiplied with the dense O(n²·d) kernel — the
+    /// "before" of the sparse hot path, bit-identical in output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` is empty or a feature width differs from
+    /// [`GinClassifier::input_dim`].
+    pub fn forward_batch_dense(
+        &self,
+        tape: &mut Tape,
+        bound: &BoundModel,
+        graphs: &[&Graph],
+    ) -> NodeId {
+        let union = SparseMatrix::block_diagonal(
+            &graphs
+                .iter()
+                .map(|g| g.adj_hat.as_ref())
+                .collect::<Vec<_>>(),
+        );
+        let adj = tape.leaf(union.to_dense());
+        self.forward_union(tape, bound, graphs, |tape, h| tape.matmul(adj, h))
+    }
+
+    /// Shared body of the batched forward passes: concatenated features,
+    /// K rounds of `aggregate` + MLP, segment-mean readout, head.
+    fn forward_union(
+        &self,
+        tape: &mut Tape,
+        bound: &BoundModel,
+        graphs: &[&Graph],
+        mut aggregate: impl FnMut(&mut Tape, NodeId) -> NodeId,
+    ) -> NodeId {
+        assert!(!graphs.is_empty(), "batch must be non-empty");
+        for g in graphs {
+            assert_eq!(g.features.cols(), self.input_dim, "feature width");
+        }
+        let feats: Vec<&Matrix> = graphs.iter().map(|g| &g.features).collect();
+        let mut h = tape.leaf_concat_rows(&feats);
+        for (b1, b2) in &bound.convs {
+            let agg = aggregate(tape, h);
+            h = self.conv_tail(tape, *b1, *b2, agg);
+        }
+        let seg_lens: Vec<u32> = graphs.iter().map(|g| g.num_nodes() as u32).collect();
+        let pooled = tape.segment_mean_rows(h, &seg_lens);
+        let r = Linear::forward(bound.readout, tape, pooled);
+        let r = tape.relu(r);
+        Linear::forward(bound.head, tape, r)
+    }
+
+    /// The two-layer MLP of one GIN round (shared by all forward paths).
+    fn conv_tail(&self, tape: &mut Tape, b1: BoundLinear, b2: BoundLinear, agg: NodeId) -> NodeId {
+        let z1 = Linear::forward(b1, tape, agg);
+        let a1 = tape.relu(z1);
+        let z2 = Linear::forward(b2, tape, a1);
+        tape.relu(z2)
+    }
+
+    /// Mean-pool readout plus MLP head (single-graph forward paths).
+    fn readout_head(&self, tape: &mut Tape, bound: &BoundModel, h: NodeId) -> NodeId {
         let pooled = tape.mean_rows(h);
         let r = Linear::forward(bound.readout, tape, pooled);
         let r = tape.relu(r);
         Linear::forward(bound.head, tape, r)
     }
 
+    /// Predicted probability that the key bit is 1, recorded on a caller
+    /// supplied tape (which is reset first) so evaluation loops reuse one
+    /// workspace instead of allocating per graph.
+    pub fn predict_with(&self, tape: &mut Tape, graph: &Graph) -> f32 {
+        tape.reset();
+        let bound = self.bind(tape);
+        let logit = self.forward(tape, &bound, graph);
+        sigmoid(tape.value(logit).get(0, 0))
+    }
+
     /// Predicted probability that the key bit is 1.
     pub fn predict(&self, graph: &Graph) -> f32 {
-        let mut tape = Tape::new();
-        let bound = self.bind(&mut tape);
-        let logit = self.forward(&mut tape, &bound, graph);
-        sigmoid(tape.value(logit).get(0, 0))
+        self.predict_with(&mut Tape::new(), graph)
     }
 
     /// Classification accuracy over a labelled set (threshold 0.5).
@@ -186,9 +299,10 @@ impl GinClassifier {
         if graphs.is_empty() {
             return 0.0;
         }
+        let mut tape = Tape::new();
         let correct = graphs
             .iter()
-            .filter(|g| (self.predict(g) >= 0.5) == g.label)
+            .filter(|g| (self.predict_with(&mut tape, g) >= 0.5) == g.label)
             .count();
         correct as f64 / graphs.len() as f64
     }
@@ -209,6 +323,81 @@ mod tests {
         let model = GinClassifier::new(2, 8, 2, 42);
         let g = toy_graph(true, 0.5);
         assert_eq!(model.predict(&g), model.predict(&g));
+    }
+
+    #[test]
+    fn sparse_and_dense_forward_agree_bitwise() {
+        let model = GinClassifier::new(2, 8, 2, 23);
+        for bias in [-1.0, 0.0, 0.5, 2.0] {
+            let g = toy_graph(bias > 0.0, bias);
+            let mut ts = Tape::new();
+            let bs = model.bind(&mut ts);
+            let ls = model.forward(&mut ts, &bs, &g);
+            let mut td = Tape::new();
+            let bd = model.bind(&mut td);
+            let ld = model.forward_dense(&mut td, &bd, &g);
+            assert_eq!(ts.value(ls), td.value(ld));
+        }
+    }
+
+    #[test]
+    fn batched_forward_rows_match_single_graph_forwards() {
+        let model = GinClassifier::new(2, 8, 2, 9);
+        let graphs = [
+            toy_graph(true, 0.4),
+            toy_graph(false, -1.2),
+            toy_graph(true, 2.0),
+        ];
+        let refs: Vec<&Graph> = graphs.iter().collect();
+
+        let mut tb = Tape::new();
+        let bb = model.bind(&mut tb);
+        let logits = model.forward_batch(&mut tb, &bb, &refs);
+        assert_eq!((tb.value(logits).rows(), tb.value(logits).cols()), (3, 1));
+
+        let mut td = Tape::new();
+        let bd = model.bind(&mut td);
+        let dense_logits = model.forward_batch_dense(&mut td, &bd, &refs);
+        assert_eq!(
+            tb.value(logits),
+            td.value(dense_logits),
+            "sparse/dense batch parity"
+        );
+
+        for (b, g) in graphs.iter().enumerate() {
+            let mut t = Tape::new();
+            let bound = model.bind(&mut t);
+            let single = model.forward(&mut t, &bound, g);
+            assert_eq!(
+                t.value(single).get(0, 0),
+                tb.value(logits).get(b, 0),
+                "row {b} of the batch must equal the single-graph forward bitwise"
+            );
+        }
+    }
+
+    #[test]
+    fn adjacency_is_sparse_and_symmetric() {
+        let g = toy_graph(true, 1.0);
+        assert!(g.adj_hat.is_symmetric());
+        assert_eq!(g.adj_hat.nnz(), 4); // two self-loops + one edge both ways
+    }
+
+    #[test]
+    fn predict_with_reuses_one_workspace() {
+        let model = GinClassifier::new(2, 8, 2, 42);
+        let g = toy_graph(true, 0.5);
+        let mut tape = Tape::new();
+        let first = model.predict_with(&mut tape, &g);
+        let allocs = tape.stats().fresh_buffers;
+        for _ in 0..5 {
+            assert_eq!(model.predict_with(&mut tape, &g), first);
+        }
+        assert_eq!(
+            tape.stats().fresh_buffers,
+            allocs,
+            "warm tape allocates nothing"
+        );
     }
 
     #[test]

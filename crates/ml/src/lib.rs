@@ -1,20 +1,29 @@
-//! A minimal machine-learning substrate: dense tensors, reverse-mode
-//! autodiff, GIN graph layers, Adam and a training loop.
+//! A minimal machine-learning substrate: dense + CSR tensors,
+//! zero-clone reverse-mode autodiff, GIN graph layers, Adam and a
+//! data-parallel training loop.
 //!
 //! The ALMOST paper's attacks (OMLA) and defence (the adversarially
 //! trained proxy model M\*) are GIN subgraph classifiers implemented in
 //! PyTorch; this crate replaces that dependency with a self-contained
-//! implementation:
+//! implementation built around the sparsity of AIG localities (fan-in
+//! ≤ 2, so `Â = A + I` carries ~3 entries per row):
 //!
-//! - [`tensor::Matrix`] — dense row-major `f32` matrices (He init included).
+//! - [`tensor::Matrix`] / [`tensor::SparseMatrix`] — dense row-major
+//!   `f32` matrices (He init included) and CSR adjacency operators whose
+//!   `spmm` aggregates neighbourhoods in O(E·d) instead of O(n²·d),
+//!   bit-identically to the dense product.
 //! - [`tape::Tape`] — reverse-mode autodiff over exactly the ops a GIN
-//!   classifier needs; every gradient is finite-difference checked in
-//!   tests.
+//!   classifier needs, with in-place gradient accumulation and a
+//!   recycled-buffer workspace (allocation-free once warm); every
+//!   gradient is finite-difference checked in tests.
 //! - [`gin::GinClassifier`] — GIN message passing + mean-pool readout +
-//!   MLP head, the OMLA model shape.
-//! - [`optim::Adam`], [`train::train`] — minibatch training with an
-//!   epoch hook (used by Algorithm 1's every-R-epochs adversarial
-//!   augmentation).
+//!   MLP head, the OMLA model shape; minibatches fuse into one
+//!   block-diagonal union per gradient sub-block.
+//! - [`optim::Adam`], [`train::train`] — minibatch training that fans
+//!   fixed-size gradient sub-blocks across the `almost_pool` workers
+//!   (`ALMOST_JOBS` sets the width, results are bit-identical at any
+//!   width), with an epoch hook (used by Algorithm 1's every-R-epochs
+//!   adversarial augmentation).
 //!
 //! # Example
 //!
@@ -39,5 +48,5 @@ pub mod train;
 pub use gin::{GinClassifier, Graph};
 pub use optim::Adam;
 pub use tape::Tape;
-pub use tensor::Matrix;
-pub use train::{train, train_with_callback, TrainConfig, TrainStats};
+pub use tensor::{Matrix, SparseMatrix};
+pub use train::{train, train_dense_reference, train_with_callback, TrainConfig, TrainStats};

@@ -30,11 +30,13 @@ impl Linear {
         }
     }
 
-    /// Inserts the parameters onto a tape.
+    /// Inserts the parameters onto a tape (copying into the tape's
+    /// recycled buffers, so re-binding per minibatch allocates nothing
+    /// once the tape is warm).
     pub fn bind(&self, tape: &mut Tape) -> BoundLinear {
         BoundLinear {
-            w: tape.leaf(self.w.clone()),
-            b: tape.leaf(self.b.clone()),
+            w: tape.leaf_copy(&self.w),
+            b: tape.leaf_copy(&self.b),
         }
     }
 

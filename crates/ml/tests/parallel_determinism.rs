@@ -1,0 +1,67 @@
+//! Worker-count invariance of the data-parallel trainer.
+//!
+//! The trainer splits every minibatch into fixed-size sub-blocks and
+//! folds block gradients in block order, so the floating-point result
+//! must not depend on `ALMOST_JOBS`. This test lives in its own
+//! integration binary because it mutates the (process-global)
+//! environment variable; it is the only test here, so nothing races it.
+
+use almost_ml::gin::{GinClassifier, Graph};
+use almost_ml::tensor::Matrix;
+use almost_ml::train::{train, TrainConfig, TrainStats};
+
+fn dataset() -> Vec<Graph> {
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..64)
+        .map(|_| {
+            let label = next().is_multiple_of(2);
+            let signal = if label { 1.0 } else { -1.0 };
+            let mut f = Matrix::zeros(5, 2);
+            for r in 0..5 {
+                f.set(r, 0, signal + (next() % 100) as f32 / 400.0);
+                f.set(r, 1, r as f32 / 4.0);
+            }
+            Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)], f, label)
+        })
+        .collect()
+}
+
+fn run(jobs: &str) -> (TrainStats, Vec<Matrix>) {
+    std::env::set_var("ALMOST_JOBS", jobs);
+    let mut model = GinClassifier::new(2, 10, 2, 1234);
+    let stats = train(
+        &mut model,
+        &dataset(),
+        &TrainConfig {
+            epochs: 5,
+            batch_size: 24,
+            learning_rate: 5e-3,
+            seed: 11,
+        },
+    );
+    let params = model.parameters().into_iter().cloned().collect();
+    (stats, params)
+}
+
+#[test]
+fn training_is_bit_identical_for_any_worker_count() {
+    let (serial_stats, serial_params) = run("1");
+    for jobs in ["2", "3", "8"] {
+        let (stats, params) = run(jobs);
+        assert_eq!(
+            stats.epoch_losses, serial_stats.epoch_losses,
+            "ALMOST_JOBS={jobs}: loss curve must match the serial reference bit-for-bit"
+        );
+        assert_eq!(
+            params, serial_params,
+            "ALMOST_JOBS={jobs}: trained parameters must match the serial reference bit-for-bit"
+        );
+    }
+    std::env::remove_var("ALMOST_JOBS");
+}

@@ -1,0 +1,190 @@
+//! A hermetic work-stealing worker pool.
+//!
+//! Two kinds of callers share this crate: the experiment harnesses, whose
+//! (bench, key-size, scheme) rows are embarrassingly parallel — every row
+//! builds its own circuit, lock, oracle and solver — and the GIN trainer
+//! in `almost_ml`, which fans the fixed-size gradient sub-blocks of each
+//! minibatch out with [`map_indexed`]. Implementation is std-only (scoped
+//! threads, one `Mutex<VecDeque>` per worker, an mpsc channel for
+//! results): jobs are dealt round-robin to per-worker deques, each worker
+//! pops its own queue from the front and *steals from the back* of its
+//! siblings' queues when it runs dry, so a long row (say, a c6288 miter)
+//! never strands the other cores behind it.
+//!
+//! Determinism: results are returned **in job order**, whatever the
+//! completion order was, so a harness's output is byte-identical between
+//! a parallel run and a serial one (`ALMOST_JOBS=1`) — wall-clock
+//! columns aside, which is why the CI `perf-smoke` job diffs
+//! `sat_resilience.csv`, the CSV with no timing column.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::{mpsc, Mutex};
+
+std::thread_local! {
+    /// True while this thread is a pool worker. Nested [`map_indexed`]
+    /// calls (e.g. the GIN trainer's per-minibatch fan-out running inside
+    /// a harness's per-cell job) detect it and run serially: the outer
+    /// level already owns the cores, so spawning another worker set per
+    /// inner call would only add thread churn and oversubscription —
+    /// and serial execution is the same bit-for-bit result by the pool's
+    /// determinism contract.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Worker count: `ALMOST_JOBS` when set (≥ 1), else the machine's
+/// available parallelism.
+pub fn num_workers() -> usize {
+    std::env::var("ALMOST_JOBS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `f(index, item)` for every item on the worker pool and returns the
+/// results **in item order** (deterministic regardless of scheduling).
+///
+/// With one worker (or one item) the pool is bypassed and the closure runs
+/// serially on the calling thread — the reference execution the parallel
+/// output must match.
+pub fn map_indexed<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = num_workers().min(n.max(1));
+    if workers <= 1 || IN_POOL_WORKER.with(|flag| flag.get()) {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    // Deal jobs round-robin onto per-worker deques.
+    let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        queues[i % workers]
+            .lock()
+            .expect("queue lock")
+            .push_back((i, item));
+    }
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let (queues, f) = (&queues, &f);
+            scope.spawn(move || {
+                IN_POOL_WORKER.with(|flag| flag.set(true));
+                loop {
+                    // Own queue first (front), then steal from siblings
+                    // (back). The own-queue pop is its own statement so
+                    // its guard drops before any sibling lock is probed:
+                    // holding one queue lock while acquiring another
+                    // would make the lock order cyclic across workers
+                    // (deadlock).
+                    let own = queues[w].lock().expect("queue lock").pop_front();
+                    let job = own.or_else(|| {
+                        (1..workers).find_map(|d| {
+                            queues[(w + d) % workers]
+                                .lock()
+                                .expect("queue lock")
+                                .pop_back()
+                        })
+                    });
+                    match job {
+                        Some((i, item)) => {
+                            let _ = tx.send((i, f(i, item)));
+                        }
+                        // No job is ever enqueued after the deal above,
+                        // so a full sweep finding every queue empty means
+                        // all jobs are claimed — this worker is done (no
+                        // idle spinning while long rows finish
+                        // elsewhere).
+                        None => break,
+                    }
+                }
+            });
+        }
+        drop(tx);
+    });
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in rx {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job sends exactly one result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        // Jobs deliberately finish out of order (later jobs are cheaper).
+        let items: Vec<usize> = (0..64).collect();
+        let out = map_indexed(items, |i, x| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x * x
+        });
+        assert_eq!(out, (0..64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_output_equals_the_serial_reference() {
+        let work = |i: usize, x: u64| -> String { format!("row-{i}:{}", x.wrapping_mul(0x9E37)) };
+        let items: Vec<u64> = (0..40).map(|x| x * 3 + 1).collect();
+        let serial: Vec<String> = items.iter().enumerate().map(|(i, &x)| work(i, x)).collect();
+        let parallel = map_indexed(items, work);
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs_work() {
+        assert_eq!(map_indexed(Vec::<u8>::new(), |_, x| x), Vec::<u8>::new());
+        assert_eq!(map_indexed(vec![9u8], |i, x| (i as u8) + x), vec![9]);
+    }
+
+    #[test]
+    fn num_workers_is_at_least_one() {
+        assert!(num_workers() >= 1);
+    }
+
+    #[test]
+    fn nested_calls_run_serially_with_identical_results() {
+        // An inner map_indexed inside a pool job must not spawn another
+        // worker set (the outer level already owns the cores) — and by
+        // the determinism contract, running it serially changes nothing.
+        let outer: Vec<u32> = (0..8).collect();
+        let nested = map_indexed(outer.clone(), |_, x| {
+            map_indexed((0..16u32).collect(), move |j, y| {
+                u64::from(x) * 1000 + u64::from(y) + j as u64
+            })
+        });
+        let flat: Vec<Vec<u64>> = outer
+            .iter()
+            .map(|&x| {
+                (0..16u32)
+                    .enumerate()
+                    .map(|(j, y)| u64::from(x) * 1000 + u64::from(y) + j as u64)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(nested, flat);
+    }
+}

@@ -1,0 +1,110 @@
+//! Release-mode behavioural envelope for the GIN training hot path.
+//!
+//! Wall-clock assertions alone cannot distinguish "the kernels got
+//! slower" from "CI had a noisy neighbour", so this test pins two
+//! *deterministic* counters next to one generous wall-time ceiling:
+//!
+//! - **Allocation-free hot loop**: the per-block tapes recycle their
+//!   buffers, so training for more epochs must not allocate a single
+//!   additional matrix buffer after the first-epoch warm-up
+//!   (`TrainStats::tape_allocs` is identical for 2 and 8 epochs).
+//! - **Op-count linearity**: `TrainStats::tape_ops` scales exactly with
+//!   the epoch count — nothing silently re-records or skips work.
+//! - **Epoch wall time**: the mean epoch of a table-2-profile OMLA cell
+//!   (ci scale: 120 graphs, ≤32-node localities, hidden 20, 2 GIN
+//!   rounds) stays under a ~10x envelope of the measured cost, so an
+//!   order-of-magnitude regression in the sparse aggregation or the
+//!   in-place backward fails here, in the CI `perf-smoke` job.
+//!
+//! Debug builds skip (the envelope is calibrated for `--release`).
+
+use almost_ml::gin::{GinClassifier, Graph};
+use almost_ml::tensor::Matrix;
+use almost_ml::train::{train, train_with_callback, TrainConfig};
+use std::time::Instant;
+
+/// A synthetic table-2-profile dataset: OMLA ci-scale shapes (120
+/// localities of up to 32 nodes, 11 features) without the circuit
+/// machinery, so the envelope isolates the ML hot path.
+fn omla_profile_dataset() -> Vec<Graph> {
+    let mut state = 0xD1CEu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..120)
+        .map(|_| {
+            let nodes = 8 + (next() % 25) as usize; // 8..=32
+            let label = next().is_multiple_of(2);
+            let mut f = Matrix::zeros(nodes, 11);
+            for r in 0..nodes {
+                for c in 0..11 {
+                    if next().is_multiple_of(3) {
+                        f.set(r, c, (next() % 200) as f32 / 100.0 - 1.0);
+                    }
+                }
+                if label {
+                    f.set(r, 0, 1.0);
+                }
+            }
+            // Fan-in ≤ 2 localities: a binary-tree-ish edge set.
+            let edges: Vec<(usize, usize)> = (1..nodes).map(|v| (v / 2, v)).collect();
+            Graph::from_edges(nodes, &edges, f, label)
+        })
+        .collect()
+}
+
+fn config(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 32,
+        learning_rate: 5e-3,
+        seed: 7,
+    }
+}
+
+#[test]
+fn hot_loop_is_allocation_free_and_op_linear() {
+    let data = omla_profile_dataset();
+    let short = train(&mut GinClassifier::new(11, 20, 2, 3), &data, &config(2));
+    let long = train(&mut GinClassifier::new(11, 20, 2, 3), &data, &config(8));
+    assert_eq!(
+        short.tape_allocs, long.tape_allocs,
+        "every epoch after warm-up must run out of recycled buffers"
+    );
+    assert_eq!(
+        long.tape_ops,
+        4 * short.tape_ops,
+        "tape op count must scale exactly with the epoch count"
+    );
+    assert!(short.tape_allocs > 0, "the counter is actually wired");
+}
+
+#[test]
+fn epoch_wall_time_stays_inside_the_envelope() {
+    if cfg!(debug_assertions) {
+        eprintln!("skipping training wall-time envelope (release-mode test; run with --release)");
+        return;
+    }
+    let data = omla_profile_dataset();
+    let mut model = GinClassifier::new(11, 20, 2, 3);
+    // Warm up the tapes (first epoch pays the workspace allocations).
+    train(&mut model, &data, &config(1));
+    let mut epoch_ms: Vec<f64> = Vec::new();
+    let mut last = Instant::now();
+    train_with_callback(&mut model, &data, &config(12), |_, _| {
+        epoch_ms.push(last.elapsed().as_secs_f64() * 1e3);
+        last = Instant::now();
+    });
+    let mean = epoch_ms.iter().sum::<f64>() / epoch_ms.len() as f64;
+    eprintln!("mean epoch {mean:.2} ms over {} epochs", epoch_ms.len());
+    // Measured ~4.7 ms/epoch on one core at this profile; 25 ms is the
+    // order-of-magnitude tripwire, not a tight bound — if a deliberate
+    // model/kernel change moved it, re-measure and re-pin.
+    assert!(
+        mean < 25.0,
+        "mean epoch {mean:.2} ms blew the 25 ms envelope — the training hot path regressed"
+    );
+}
