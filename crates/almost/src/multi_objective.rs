@@ -7,11 +7,12 @@
 //! Setting the PPA weights to zero recovers plain ALMOST; the ablation
 //! bench sweeps the weights.
 
+use crate::engine::{EngineStats, SearchEngine, WeightedJointObjective};
 use crate::proxy::ProxyModel;
-use crate::recipe::{Recipe, SynthesisCache};
-use crate::sa::{anneal, SaConfig};
+use crate::recipe::Recipe;
+use crate::sa::SaConfig;
 use almost_locking::LockedCircuit;
-use almost_netlist::{analyze, map_aig, CellLibrary, MapConfig, PpaReport};
+use almost_netlist::{CellLibrary, PpaReport};
 
 /// Scalarisation weights.
 #[derive(Clone, Copy, Debug)]
@@ -56,6 +57,9 @@ pub struct JointResult {
     pub final_point: JointTracePoint,
     /// Per-iteration trace.
     pub series: Vec<JointTracePoint>,
+    /// Engine counters: synthesis-cache behaviour and candidate
+    /// throughput.
+    pub engine: EngineStats,
 }
 
 /// Runs the joint security+PPA recipe search.
@@ -69,52 +73,27 @@ pub fn joint_search(
     library: &CellLibrary,
     sa: &SaConfig,
 ) -> JointResult {
-    let mut cache = SynthesisCache::new(locked.aig.clone());
-    let mut series: Vec<JointTracePoint> = Vec::with_capacity(sa.iterations + 1);
-    let base_area = baseline.area.max(1e-9);
-    let base_delay = baseline.delay.max(1e-9);
-    let mut evaluate = |recipe: &Recipe| -> f64 {
-        let deployed = cache.apply(recipe);
-        let accuracy = proxy.predict_accuracy(locked, &deployed);
-        let netlist = map_aig(&deployed, library, &MapConfig::no_opt());
-        let report = analyze(&netlist, &deployed, library, 4, 13);
-        let area_ratio = report.area / base_area;
-        let delay_ratio = report.delay / base_delay;
-        let objective = weights.security * (accuracy - 0.5).abs() / 0.5
-            + weights.area * area_ratio
-            + weights.delay * delay_ratio;
-        series.push(JointTracePoint {
-            accuracy,
-            area_ratio,
-            delay_ratio,
-            objective,
-        });
-        objective
+    let objective = WeightedJointObjective {
+        locked,
+        proxy,
+        weights,
+        baseline,
+        library,
+        analysis_seed: 13,
     };
-    let (best, _trace) = anneal(Recipe::resyn2(), &mut evaluate, sa);
-
-    // Recompute the final point for the selected recipe.
-    let deployed = best.apply(&locked.aig);
-    let accuracy = proxy.predict_accuracy(locked, &deployed);
-    let netlist = map_aig(&deployed, library, &MapConfig::no_opt());
-    let report = analyze(&netlist, &deployed, library, 4, 13);
-    let final_point = JointTracePoint {
-        accuracy,
-        area_ratio: report.area / base_area,
-        delay_ratio: report.delay / base_delay,
-        objective: weights.security * (accuracy - 0.5).abs() / 0.5
-            + weights.area * report.area / base_area
-            + weights.delay * report.delay / base_delay,
-    };
-    let series = if series.is_empty() {
-        series
-    } else {
-        series.split_off(1.min(series.len()))
+    let mut engine = SearchEngine::new(locked.aig.clone(), &objective);
+    let run = engine.anneal(Recipe::resyn2(), sa);
+    let point = |s: &crate::engine::Score| JointTracePoint {
+        accuracy: s.accuracy.expect("joint objective records accuracy"),
+        area_ratio: s.area_ratio.expect("joint objective records ratios"),
+        delay_ratio: s.delay_ratio.expect("joint objective records ratios"),
+        objective: s.objective,
     };
     JointResult {
-        recipe: best,
-        final_point,
-        series,
+        recipe: run.best,
+        final_point: point(&run.best_score),
+        series: run.scores.iter().map(point).collect(),
+        engine: engine.stats(),
     }
 }
 
@@ -125,6 +104,7 @@ mod tests {
     use almost_attacks::subgraph::SubgraphConfig;
     use almost_circuits::IscasBenchmark;
     use almost_locking::{LockingScheme, Rll};
+    use almost_netlist::{analyze, map_aig, MapConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

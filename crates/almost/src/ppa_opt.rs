@@ -7,11 +7,12 @@
 //! mapped area or delay, recording the proxy-model attack accuracy and the
 //! PPA ratio (vs. a baseline) at every iteration.
 
+use crate::engine::{EngineStats, MappedPpaObjective, SearchEngine};
 use crate::proxy::ProxyModel;
-use crate::recipe::{Recipe, SynthesisCache};
-use crate::sa::{anneal, SaConfig};
+use crate::recipe::Recipe;
+use crate::sa::SaConfig;
 use almost_locking::LockedCircuit;
-use almost_netlist::{analyze, map_aig, CellLibrary, MapConfig, PpaReport};
+use almost_netlist::{CellLibrary, PpaReport};
 
 /// Which PPA metric the attacker minimises.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,6 +60,9 @@ pub struct ResynthesisResult {
     /// Pearson correlation between accuracy and ratio over the series
     /// (the paper's point: there is *no* usable correlation).
     pub correlation: f64,
+    /// Engine counters: synthesis-cache behaviour and candidate
+    /// throughput.
+    pub engine: EngineStats,
 }
 
 /// Runs the attacker's PPA-driven re-synthesis search.
@@ -76,31 +80,36 @@ pub fn resynthesis_search(
     library: &CellLibrary,
     sa: &SaConfig,
 ) -> ResynthesisResult {
-    let mut cache = SynthesisCache::new(deployed.aig.clone());
-    let mut series: Vec<PpaTracePoint> = Vec::with_capacity(sa.iterations);
-    let base_value = objective.of(baseline).max(1e-9);
-    let mut evaluate = |recipe: &Recipe| -> f64 {
-        let resynth = cache.apply(recipe);
-        let netlist = map_aig(&resynth, library, &MapConfig::no_opt());
-        let report = analyze(&netlist, &resynth, library, 4, 11);
-        let accuracy = proxy.predict_accuracy(deployed, &resynth);
-        let value = objective.of(&report);
-        series.push(PpaTracePoint {
-            accuracy,
-            ratio: value / base_value,
-        });
-        value
+    let search_objective = MappedPpaObjective {
+        accuracy_with: Some((deployed, proxy)),
+        metric: objective,
+        baseline,
+        library,
+        analysis_seed: 11,
     };
-    let (best, _trace) = anneal(Recipe::resyn2(), &mut evaluate, sa);
-    let series = series.split_off(1.min(series.len()));
+    let mut engine = SearchEngine::new(deployed.aig.clone(), &search_objective);
+    let run = engine.anneal(Recipe::resyn2(), sa);
+    let series: Vec<PpaTracePoint> = run
+        .scores
+        .iter()
+        .map(|s| PpaTracePoint {
+            accuracy: s.accuracy.expect("ppa objective records accuracy"),
+            ratio: match objective {
+                PpaObjective::Delay => s.delay_ratio,
+                PpaObjective::Area => s.area_ratio,
+            }
+            .expect("ppa objective records ratios"),
+        })
+        .collect();
     let correlation = pearson(
         &series.iter().map(|p| p.accuracy).collect::<Vec<_>>(),
         &series.iter().map(|p| p.ratio).collect::<Vec<_>>(),
     );
     ResynthesisResult {
-        recipe: best,
+        recipe: run.best,
         series,
         correlation,
+        engine: engine.stats(),
     }
 }
 
@@ -135,6 +144,7 @@ mod tests {
     use almost_attacks::subgraph::SubgraphConfig;
     use almost_circuits::IscasBenchmark;
     use almost_locking::{LockingScheme, Rll};
+    use almost_netlist::{analyze, map_aig, MapConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -181,6 +191,7 @@ mod tests {
                 assert!((0.0..=1.0).contains(&p.accuracy));
             }
             assert!(result.correlation.abs() <= 1.0);
+            assert_eq!(result.engine.candidates, 5, "initial + one per step");
         }
     }
 }

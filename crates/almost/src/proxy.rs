@@ -13,8 +13,9 @@
 //!   (Eq. 3–5), and localities synthesised with that recipe are added to
 //!   the training set (the min–max objective of Eq. 6).
 
+use crate::engine::{Score, SearchEngine, SearchObjective};
 use crate::recipe::{Recipe, RECIPE_LENGTH};
-use crate::sa::{anneal, SaConfig};
+use crate::sa::SaConfig;
 use almost_aig::Aig;
 use almost_attacks::subgraph::{extract_all_localities, SubgraphConfig, NUM_FEATURES};
 use almost_locking::{relock, LockedCircuit, Rll};
@@ -23,6 +24,7 @@ use almost_ml::tape::softplus;
 use almost_ml::train::{train, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Which training distribution a proxy model was built from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -129,6 +131,47 @@ impl ProxyModel {
         self.classifier.accuracy(&graphs)
     }
 
+    /// Predicted attack accuracy for a whole batch of deployments at
+    /// once: locality extraction fans out per candidate on the worker
+    /// pool, then *all* candidates' localities are fused into one
+    /// block-diagonal [`GinClassifier::forward_batch`] evaluation — one
+    /// spmm per GIN round for the entire proposal batch.
+    ///
+    /// Entry `b` is bit-identical to
+    /// [`ProxyModel::predict_accuracy`]`(locked, &deployed[b])` (the
+    /// batched forward's row-independence contract carries through the
+    /// 0.5 threshold), which is what lets the search engine score `K`
+    /// simulated-annealing proposals per step without perturbing the
+    /// serial trace.
+    pub fn predict_accuracy_batch(
+        &self,
+        locked: &LockedCircuit,
+        deployed: &[Arc<Aig>],
+    ) -> Vec<f64> {
+        let positions: Vec<usize> = locked.key_input_positions().collect();
+        let groups: Vec<Vec<Graph>> = almost_pool::map_indexed(deployed.to_vec(), |_, aig| {
+            extract_all_localities(&aig, &positions, locked.key.bits(), &self.subgraph)
+        });
+        let refs: Vec<&Graph> = groups.iter().flatten().collect();
+        let probs = self.classifier.predict_probs_batch(&refs);
+        let mut offset = 0;
+        groups
+            .iter()
+            .map(|graphs| {
+                if graphs.is_empty() {
+                    return 0.0;
+                }
+                let correct = graphs
+                    .iter()
+                    .zip(&probs[offset..offset + graphs.len()])
+                    .filter(|(g, &p)| (p >= 0.5) == g.label)
+                    .count();
+                offset += graphs.len();
+                correct as f64 / graphs.len() as f64
+            })
+            .collect()
+    }
+
     /// Mean BCE loss of the model over labelled localities (Eq. 3's inner
     /// objective).
     pub fn mean_loss(&self, graphs: &[Graph]) -> f64 {
@@ -148,6 +191,32 @@ impl ProxyModel {
             total += (softplus(z) - y * z) as f64;
         }
         total / graphs.len() as f64
+    }
+}
+
+/// Algorithm 1's inner objective (Eq. 3): the *negated* mean proxy loss
+/// on a re-locked probe — the engine minimises, so the adversarial
+/// search maximises the loss. Candidates score independently and fan out
+/// on the worker pool; the per-graph loss path is kept bit-identical to
+/// the pre-engine closure so adversarial training trajectories are
+/// unchanged.
+struct AdversarialLossObjective<'a> {
+    snapshot: &'a ProxyModel,
+    probe: &'a LockedCircuit,
+    positions: &'a [usize],
+}
+
+impl SearchObjective for AdversarialLossObjective<'_> {
+    fn score_batch(&self, candidates: &[std::sync::Arc<Aig>]) -> Vec<Score> {
+        almost_pool::map_indexed(candidates.to_vec(), |_, synthesised| {
+            let graphs = extract_all_localities(
+                &synthesised,
+                self.positions,
+                self.probe.key.bits(),
+                &self.snapshot.subgraph,
+            );
+            Score::plain(-self.snapshot.mean_loss(&graphs))
+        })
     }
 }
 
@@ -260,21 +329,15 @@ pub fn train_proxy(locked: &LockedCircuit, kind: ProxyKind, config: &ProxyConfig
         let mut eval_rng = StdRng::seed_from_u64(config.seed ^ 0xCAFE ^ round as u64);
         let mut sa_cfg = config.adversarial_sa;
         sa_cfg.seed ^= round as u64;
-        let (s_star, _trace) = anneal(
-            Recipe::random(RECIPE_LENGTH, &mut eval_rng),
-            |recipe| {
-                let synthesised = recipe.apply(&probe.aig);
-                let graphs = extract_all_localities(
-                    &synthesised,
-                    &probe_positions,
-                    probe.key.bits(),
-                    &config.subgraph,
-                );
-                // SA minimises, we want to MAXIMISE the loss.
-                -snapshot.mean_loss(&graphs)
-            },
-            &sa_cfg,
-        );
+        let objective = AdversarialLossObjective {
+            snapshot: &snapshot,
+            probe: &probe,
+            positions: &probe_positions,
+        };
+        let mut inner = SearchEngine::new(probe.aig.clone(), &objective);
+        let s_star = inner
+            .anneal(Recipe::random(RECIPE_LENGTH, &mut eval_rng), &sa_cfg)
+            .best;
         // Lines 7: augment the training data with s*-synthesised samples.
         let augmented = generate_samples(
             base,
@@ -371,6 +434,26 @@ mod tests {
         let deployed = Recipe::resyn2().apply(&locked.aig);
         let acc = model.predict_accuracy(&locked, &deployed);
         assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn batched_accuracy_matches_serial_prediction_bitwise() {
+        let locked = locked_c432();
+        let model = train_proxy(&locked, ProxyKind::Resyn2, &tiny_config());
+        let mut rng = StdRng::seed_from_u64(17);
+        let deployed: Vec<Arc<Aig>> = (0..3)
+            .map(|_| Arc::new(Recipe::random(RECIPE_LENGTH, &mut rng).apply(&locked.aig)))
+            .collect();
+        let batched = model.predict_accuracy_batch(&locked, &deployed);
+        assert_eq!(batched.len(), 3);
+        for (aig, &acc) in deployed.iter().zip(&batched) {
+            assert_eq!(
+                acc,
+                model.predict_accuracy(&locked, aig),
+                "fused batch entry must equal the serial prediction"
+            );
+        }
+        assert!(model.predict_accuracy_batch(&locked, &[]).is_empty());
     }
 
     #[test]

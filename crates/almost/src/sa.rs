@@ -12,7 +12,7 @@ use rand::{RngExt, SeedableRng};
 /// Annealer parameters (defaults follow §IV-C).
 #[derive(Clone, Copy, Debug)]
 pub struct SaConfig {
-    /// Number of iterations.
+    /// Number of iterations (temperature steps).
     pub iterations: usize,
     /// Initial temperature.
     pub initial_temperature: f64,
@@ -20,6 +20,12 @@ pub struct SaConfig {
     pub acceptance: f64,
     /// Final temperature of the geometric schedule.
     pub final_temperature: f64,
+    /// Mutations proposed (and scored as one batch) per temperature
+    /// step. Consumed by [`crate::engine::SearchEngine::anneal`]; the
+    /// serial reference [`anneal`] in this module always evaluates one
+    /// proposal per step, and the engine at `proposals = 1` reproduces
+    /// its trace bit-for-bit.
+    pub proposals: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -31,6 +37,7 @@ impl Default for SaConfig {
             initial_temperature: 120.0,
             acceptance: 1.8,
             final_temperature: 1.0,
+            proposals: 1,
             seed: 0x5A,
         }
     }
@@ -74,6 +81,13 @@ impl SaTrace {
 /// Returns the best recipe seen and the full trace. The objective is
 /// treated as a black box (the paper's Eq. 1 uses `|acc − 0.5|`; Fig. 5
 /// uses mapped delay or area).
+///
+/// This is the *serial reference*: one proposal per temperature step
+/// ([`SaConfig::proposals`] is ignored), evaluated through whatever the
+/// closure does. The production searches run on
+/// [`crate::engine::SearchEngine::anneal`], which batches proposals and
+/// shares synthesis through the recipe trie but is pinned bit-identical
+/// to this loop at `proposals = 1`.
 pub fn anneal(
     initial: Recipe,
     mut objective: impl FnMut(&Recipe) -> f64,
@@ -148,6 +162,7 @@ mod tests {
             initial_temperature: 2.0,
             final_temperature: 0.01,
             acceptance: 1.8,
+            proposals: 1,
             seed: 3,
         };
         let (best, trace) = anneal(initial, objective, &config);

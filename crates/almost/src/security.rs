@@ -4,9 +4,10 @@
 //! accuracy evaluator `M` is a (proxy) attack model. The per-iteration
 //! accuracy series is exactly what the paper's Fig. 4 plots.
 
+use crate::engine::{EngineStats, ProxyAccuracyObjective, SearchEngine};
 use crate::proxy::ProxyModel;
-use crate::recipe::{Recipe, SynthesisCache};
-use crate::sa::{anneal, SaConfig, SaTrace};
+use crate::recipe::Recipe;
+use crate::sa::{SaConfig, SaTrace};
 use almost_locking::LockedCircuit;
 
 /// Result of a security-aware recipe search.
@@ -18,44 +19,47 @@ pub struct SecurityResult {
     pub recipe: Recipe,
     /// Predicted attack accuracy of the selected recipe.
     pub accuracy: f64,
-    /// Accuracy of every SA candidate, in iteration order (Fig. 4 series).
+    /// Accuracy of every SA candidate, in proposal order (Fig. 4 series;
+    /// `iterations × proposals` entries, the initial recipe excluded).
     pub accuracy_series: Vec<f64>,
     /// The raw SA trace (objectives are `|acc − 0.5|`).
     pub trace: SaTrace,
+    /// Engine counters: synthesis-cache behaviour and candidate
+    /// throughput.
+    pub engine: EngineStats,
 }
 
 /// Runs the Eq. 1 search for `locked` using `proxy` as the accuracy
 /// evaluator.
 ///
-/// Consecutive SA proposals share recipe prefixes, so synthesis runs
-/// through a [`SynthesisCache`].
+/// Runs on the batched [`SearchEngine`]: sibling proposals share
+/// synthesis intermediates through the recipe trie, and each step's
+/// proposal batch is scored through one fused GIN forward pass
+/// ([`ProxyModel::predict_accuracy_batch`]). `config.proposals` sets the
+/// batch width; at 1 the search reproduces the serial annealer trace
+/// bit-for-bit.
 pub fn generate_secure_recipe(
     locked: &LockedCircuit,
     proxy: &ProxyModel,
     config: &SaConfig,
 ) -> SecurityResult {
-    let mut cache = SynthesisCache::new(locked.aig.clone());
-    let mut accuracy_series: Vec<f64> = Vec::with_capacity(config.iterations);
-    let mut evaluate = |recipe: &Recipe| -> f64 {
-        let deployed = cache.apply(recipe);
-        let acc = proxy.predict_accuracy(locked, &deployed);
-        accuracy_series.push(acc);
-        (acc - 0.5).abs()
-    };
-    let initial = Recipe::resyn2();
-    let (best, trace) = anneal(initial, &mut evaluate, config);
-    // The first evaluation in `anneal` is the initial recipe; the series
-    // therefore has iterations + 1 entries. Drop the initial point so the
-    // series aligns with the trace (Fig. 4 starts at iteration 1).
-    let accuracy_series = accuracy_series.split_off(1);
-
-    let deployed = best.apply(&locked.aig);
-    let accuracy = proxy.predict_accuracy(locked, &deployed);
+    let objective = ProxyAccuracyObjective { locked, proxy };
+    let mut engine = SearchEngine::new(locked.aig.clone(), &objective);
+    let run = engine.anneal(Recipe::resyn2(), config);
+    let accuracy_series = run
+        .scores
+        .iter()
+        .map(|s| s.accuracy.expect("proxy objective records accuracy"))
+        .collect();
     SecurityResult {
-        recipe: best,
-        accuracy,
+        recipe: run.best,
+        accuracy: run
+            .best_score
+            .accuracy
+            .expect("proxy objective records accuracy"),
         accuracy_series,
-        trace,
+        trace: run.trace,
+        engine: engine.stats(),
     }
 }
 
@@ -96,6 +100,8 @@ mod tests {
         assert_eq!(result.recipe.len(), 10);
         assert_eq!(result.accuracy_series.len(), 6);
         assert!((0.0..=1.0).contains(&result.accuracy));
+        assert_eq!(result.engine.candidates, 7, "initial + one per step");
+        assert!(result.engine.cache.hits > 0, "proposals share prefixes");
         // The chosen recipe's |acc-0.5| must be <= the initial recipe's.
         let initial_acc = {
             let deployed = Recipe::resyn2().apply(&locked.aig);

@@ -42,48 +42,78 @@ fn main() {
         series: Vec<f64>,
         hit: usize,
         line: String,
+        engine: almost_core::EngineStats,
     }
     let cells: Vec<Cell> = pool::map_indexed(jobs, |_, (bench, locked, i, kind)| {
         let proxy = train_proxy(locked, kind, &scale.proxy_config(0x41 + i as u64));
         let sa = scale.sa_config(0xF164 + i as u64);
         let result = generate_secure_recipe(locked, &proxy, &sa);
-        // Iterations until the accuracy first dips within 2% of 0.5.
+        // Candidates (proposal order) until the accuracy first dips
+        // within 2% of 0.5.
+        let budget = result.accuracy_series.len();
         let hit = result
             .accuracy_series
             .iter()
             .position(|a| (a - 0.5).abs() <= 0.02)
             .map(|p| p + 1)
-            .unwrap_or(sa.iterations + 1);
+            .unwrap_or(budget + 1);
+        // "candidate" not "iteration": at ALMOST_PROPOSALS = K > 1 the
+        // series carries K entries per temperature step, so the index is
+        // a proposal-order candidate number (at K = 1 the two coincide
+        // and match the paper's Fig. 4 x-axis).
         let line = format!(
-            "  [{}] final acc {:.2}% recipe {} (reached ~50% at iter {})",
+            "  [{}] final acc {:.2}% recipe {} (reached ~50% at candidate {})",
             kind.label(),
             result.accuracy * 100.0,
             result.recipe,
-            if hit <= sa.iterations {
+            if hit <= budget {
                 hit.to_string()
             } else {
                 "never".into()
             }
         );
-        // Liveness marker (stderr, completion order): the ordered table
-        // prints only after every pool cell finishes.
+        // Liveness + cache markers (stderr, completion order): the
+        // ordered table prints only after every pool cell finishes.
         eprintln!("  [cell done] {} {}", bench.name(), kind.label());
+        eprintln!(
+            "  [cache] {} {}: {}",
+            bench.name(),
+            kind.label(),
+            result.engine.summary()
+        );
         Cell {
             kind,
             series: result.accuracy_series,
             hit,
             line,
+            engine: result.engine,
         }
     });
 
     for (b, bench) in benches.iter().enumerate() {
         println!("\n{} (key {key_size}):", bench.name());
-        println!("  iter  M*      M_resyn2  M_random");
+        println!("  cand  M*      M_resyn2  M_random");
         let per_bench = &cells[b * KINDS.len()..(b + 1) * KINDS.len()];
         for cell in per_bench {
             iters_to_50.push((cell.kind, cell.hit as f64));
             println!("{}", cell.line);
         }
+        // Per-bench engine totals (summed over the three evaluator
+        // cells), repeated on every CSV row of the bench.
+        // (live_nodes is a per-trie point-in-time gauge — summing it
+        // across the three engines would be meaningless, so it is left
+        // at the first cell's value and not emitted.)
+        let totals = per_bench
+            .iter()
+            .skip(1)
+            .fold(per_bench[0].engine, |mut acc, c| {
+                acc.cache.hits += c.engine.cache.hits;
+                acc.cache.misses += c.engine.cache.misses;
+                acc.cache.evictions += c.engine.cache.evictions;
+                acc.candidates += c.engine.candidates;
+                acc.elapsed += c.engine.elapsed;
+                acc
+            });
         let len = per_bench.iter().map(|c| c.series.len()).max().unwrap_or(0);
         for it in 0..len {
             let get = |c: &Cell| {
@@ -98,6 +128,10 @@ fn main() {
                 get(&per_bench[0]),
                 get(&per_bench[1]),
                 get(&per_bench[2]),
+                totals.cache.hits.to_string(),
+                totals.cache.misses.to_string(),
+                totals.cache.evictions.to_string(),
+                format!("{:.2}", totals.candidates_per_sec()),
             ]);
         }
     }
@@ -112,7 +146,7 @@ fn main() {
     };
     println!();
     println!(
-        "mean iterations to reach ~50%: M* {:.1}, M_resyn2 {:.1}, M_random {:.1}",
+        "mean candidates to reach ~50%: M* {:.1}, M_resyn2 {:.1}, M_random {:.1}",
         mean_hit(ProxyKind::Adversarial),
         mean_hit(ProxyKind::Resyn2),
         mean_hit(ProxyKind::Random)
@@ -121,7 +155,8 @@ fn main() {
 
     write_csv(
         "fig4_sa_search.csv",
-        "bench,iteration,acc_adversarial,acc_resyn2,acc_random",
+        "bench,candidate,acc_adversarial,acc_resyn2,acc_random,\
+         cache_hits,cache_misses,cache_evictions,cands_per_sec",
         &rows,
     );
 }

@@ -62,7 +62,14 @@ fn main() {
                     objective.label(),
                     result.correlation
                 ));
+            eprintln!(
+                "  [cache] {} minimize-{}: {}",
+                bench.name(),
+                objective.label(),
+                result.engine.summary()
+            );
             cell_corrs.push(result.correlation);
+            let stats = result.engine;
             for (i, p) in result.series.iter().enumerate() {
                 cell_rows.push(vec![
                     bench.name().into(),
@@ -70,6 +77,10 @@ fn main() {
                     (i + 1).to_string(),
                     format!("{:.4}", p.accuracy),
                     format!("{:.4}", p.ratio),
+                    stats.cache.hits.to_string(),
+                    stats.cache.misses.to_string(),
+                    stats.cache.evictions.to_string(),
+                    format!("{:.2}", stats.candidates_per_sec()),
                 ]);
             }
         }
@@ -97,7 +108,8 @@ fn main() {
 
     write_csv(
         "fig5_resynthesis.csv",
-        "bench,objective,iteration,accuracy,ppa_ratio",
+        "bench,objective,candidate,accuracy,ppa_ratio,\
+         cache_hits,cache_misses,cache_evictions,cands_per_sec",
         &rows,
     );
 }

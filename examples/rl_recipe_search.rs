@@ -8,8 +8,8 @@
 //! ```
 
 use almost_repro::almost::{
-    generate_secure_recipe, reinforce, train_proxy, ProxyKind, ReinforceConfig, Scale,
-    SynthesisCache,
+    generate_secure_recipe, train_proxy, ProxyAccuracyObjective, ProxyKind, ReinforceConfig, Scale,
+    SearchEngine,
 };
 use almost_repro::circuits::IscasBenchmark;
 use almost_repro::locking::{LockingScheme, Rll};
@@ -23,20 +23,19 @@ fn main() {
     let locked = Rll::new(24).lock(&design, &mut rng).expect("lockable");
     let proxy = train_proxy(&locked, ProxyKind::Adversarial, &scale.proxy_config(21));
 
-    // REINFORCE: maximise -(Eq. 1 objective).
-    let mut cache = SynthesisCache::new(locked.aig.clone());
-    let rl = reinforce(
-        |recipe| {
-            let deployed = cache.apply(recipe);
-            let acc = proxy.predict_accuracy(&locked, &deployed);
-            -(acc - 0.5).abs()
-        },
-        &ReinforceConfig {
-            episodes: 20,
-            seed: 5,
-            ..ReinforceConfig::default()
-        },
-    );
+    // REINFORCE: maximise -(Eq. 1 objective). Episodes evaluate through
+    // the search engine, so sampled recipes share synthesis
+    // intermediates in the recipe trie.
+    let objective = ProxyAccuracyObjective {
+        locked: &locked,
+        proxy: &proxy,
+    };
+    let mut engine = SearchEngine::new(locked.aig.clone(), &objective);
+    let rl = engine.reinforce(&ReinforceConfig {
+        episodes: 20,
+        seed: 5,
+        ..ReinforceConfig::default()
+    });
     println!(
         "REINFORCE best recipe: {} (|acc-0.5| = {:.3})",
         rl.best_recipe, -rl.best_reward
@@ -47,6 +46,7 @@ fn main() {
         rl.policy.mean_entropy(),
         7.0f64.ln()
     );
+    println!("  [cache] RL episodes: {}", engine.stats().summary());
 
     // SA for comparison, same budget.
     let mut sa_cfg = scale.sa_config(5);
@@ -57,6 +57,7 @@ fn main() {
         sa.recipe,
         (sa.accuracy - 0.5).abs()
     );
+    println!("  [cache] SA search:   {}", sa.engine.summary());
     println!("\nBoth searchers target predicted attack accuracy ~50%;");
     println!("the RL policy additionally yields a *distribution* over resilient recipes.");
 }

@@ -7,7 +7,9 @@
 //! ```
 
 use almost_repro::aig::{Pass, Script};
-use almost_repro::almost::Recipe;
+use almost_repro::almost::{
+    MappedPpaObjective, PpaObjective, Recipe, SaConfig, Scale, SearchEngine,
+};
 use almost_repro::circuits::IscasBenchmark;
 use almost_repro::netlist::{analyze, map_aig, CellLibrary, MapConfig};
 use rand::rngs::StdRng;
@@ -61,6 +63,35 @@ fn main() {
             recipe
         );
     }
+
+    // Drive the batched search engine over the recipe space, minimising
+    // mapped area — no proxy model needed, the PPA objective stands on
+    // its own. Proposal batches share synthesis through the recipe trie;
+    // `ALMOST_PROPOSALS` widens the per-step batch.
+    println!("\nSA area search on the batched engine:");
+    let baseline_aig = Recipe::resyn2().apply(&aig);
+    let baseline_nl = map_aig(&baseline_aig, &lib, &MapConfig::no_opt());
+    let baseline = analyze(&baseline_nl, &baseline_aig, &lib, 4, 7);
+    let objective = MappedPpaObjective {
+        accuracy_with: None,
+        metric: PpaObjective::Area,
+        baseline: &baseline,
+        library: &lib,
+        analysis_seed: 7,
+    };
+    let mut engine = SearchEngine::new(aig.clone(), &objective);
+    let sa = SaConfig {
+        iterations: 12,
+        ..Scale::from_env().sa_config(0xE19)
+    };
+    let run = engine.anneal(Recipe::resyn2(), &sa);
+    println!(
+        "  best recipe {} -> area ratio {:.3} vs resyn2 (objective {:.1})",
+        run.best,
+        run.best_score.area_ratio.unwrap_or(f64::NAN),
+        run.best_score.objective
+    );
+    println!("  [cache] {}", engine.stats().summary());
 
     println!("\nresyn2 as a script: {}", Script::resyn2());
     println!("Every recipe preserves function (SAT-checked in the test suite).");

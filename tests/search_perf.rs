@@ -1,0 +1,76 @@
+//! Release-mode throughput envelope for the batched search engine.
+//!
+//! Pins the candidates-per-second of a ci-scale Fig.-4 cell (c1908, RLL
+//! key 64, 12 annealing steps) above a generous ~4x tripwire, so a
+//! regression that makes candidate evaluation an order of magnitude
+//! slower — a trie that stops sharing, a batch scorer that falls back to
+//! per-graph forwards — fails loudly in the CI `perf-smoke` job. Proxy
+//! training happens before the timed region; only the search itself
+//! (trie synthesis + fused GIN scoring) is measured, through the
+//! engine's own counters.
+//!
+//! Calibration (this container, 1 CPU, release, `ALMOST_JOBS=1`):
+//! ~1.7 candidates/s at `proposals = 1` (each candidate is a ≤10-pass
+//! synthesis of an ~800-AND locked c1908 plus a 64-locality fused GIN
+//! forward). The floor is 0.4 cand/s; re-measure and re-pin when
+//! deliberately changing the engine.
+
+use almost_repro::almost::{generate_secure_recipe, train_proxy, ProxyConfig, ProxyKind, SaConfig};
+use almost_repro::attacks::subgraph::SubgraphConfig;
+use almost_repro::circuits::IscasBenchmark;
+use almost_repro::locking::{LockingScheme, Rll};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn sa_search_throughput_envelope() {
+    if cfg!(debug_assertions) {
+        eprintln!("skipping: the envelope is calibrated for --release");
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(0x19A8);
+    let locked = Rll::new(64)
+        .lock(&IscasBenchmark::C1908.build(), &mut rng)
+        .expect("lockable");
+    let proxy = train_proxy(
+        &locked,
+        ProxyKind::Resyn2,
+        &ProxyConfig {
+            initial_samples: 64,
+            epochs: 12,
+            period: 12,
+            hidden: 12,
+            subgraph: SubgraphConfig {
+                hops: 3,
+                max_nodes: 32,
+            },
+            ..ProxyConfig::default()
+        },
+    );
+    let sa = SaConfig {
+        iterations: 12,
+        proposals: 1,
+        seed: 0x5EA,
+        ..SaConfig::default()
+    };
+    let result = generate_secure_recipe(&locked, &proxy, &sa);
+    let stats = result.engine;
+    eprintln!(
+        "search engine: {} ({:.1}s)",
+        stats.summary(),
+        stats.elapsed.as_secs_f64(),
+    );
+    assert_eq!(stats.candidates, 13, "initial + one per step");
+    assert!(
+        stats.cache.hits > 0,
+        "sibling proposals must reuse trie prefixes"
+    );
+    assert_eq!(stats.cache.evictions, 0, "default budget must not evict");
+    let cps = stats.candidates_per_sec();
+    assert!(
+        cps >= 0.4,
+        "search throughput collapsed: {cps:.2} candidates/s (floor 0.4, \
+         calibrated ~1.7 on the reference container; re-pin on deliberate \
+         engine changes)"
+    );
+}

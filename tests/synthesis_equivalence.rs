@@ -3,7 +3,7 @@
 //! and the generated ISCAS-profile benchmarks.
 
 use almost_repro::aig::{Aig, Lit, Pass, Script};
-use almost_repro::almost::{Recipe, SynthesisCache};
+use almost_repro::almost::{Recipe, RecipeTrie};
 use almost_repro::circuits::IscasBenchmark;
 use almost_repro::sat::{check_equivalence, Equivalence};
 use proptest::prelude::*;
@@ -60,18 +60,70 @@ proptest! {
     }
 
     #[test]
-    fn synthesis_cache_equals_direct_application(seed in 0u64..10_000) {
+    fn trie_cache_equals_direct_application(seed in 0u64..10_000) {
         let aig = random_aig(6, 40, seed);
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut cache = SynthesisCache::new(aig.clone());
+        let mut trie = RecipeTrie::new(aig.clone());
         let mut recipe = Recipe::random(5, &mut rng);
         for _ in 0..3 {
-            let cached = cache.apply(&recipe);
+            let cached = trie.apply(&recipe);
             let direct = recipe.apply(&aig);
             prop_assert_eq!(cached.num_ands(), direct.num_ands());
             prop_assert_eq!(check_equivalence(&cached, &direct), Equivalence::Equivalent);
             recipe = recipe.mutate(&mut rng);
         }
+    }
+
+    /// Sibling-order access: mutate one base recipe into a family of
+    /// siblings, visit them in a scrambled order with revisits, and hold
+    /// the trie to `Recipe::apply` ground truth throughout. This is the
+    /// pattern the old linear prefix chain lost on (truncate on
+    /// divergence); the trie must both stay correct and stop recomputing
+    /// once the family is cached.
+    #[test]
+    fn trie_cache_survives_sibling_order_access(seed in 0u64..10_000) {
+        let aig = random_aig(6, 40, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51B);
+        let mut trie = RecipeTrie::new(aig.clone());
+        let base = Recipe::random(4, &mut rng);
+        let family: Vec<Recipe> = (0..4).map(|_| base.mutate(&mut rng)).collect();
+        let mut order: Vec<usize> = (0..family.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.random_range(0..i + 1));
+        }
+        // First sweep in scrambled order, then a revisit sweep.
+        for &i in order.iter().chain(order.iter().rev()) {
+            let cached = trie.apply(&family[i]);
+            prop_assert_eq!(cached.num_ands(), family[i].apply(&aig).num_ands());
+        }
+        let after_sweeps = trie.stats();
+        // The revisit sweep must have been pure hits.
+        prop_assert!(after_sweeps.hits as usize >= family.len() * 4);
+        let spot = &family[order[0]];
+        prop_assert_eq!(
+            check_equivalence(&trie.apply(spot), &spot.apply(&aig)),
+            Equivalence::Equivalent
+        );
+        prop_assert_eq!(trie.stats().misses, after_sweeps.misses, "revisit is all hits");
+    }
+
+    /// Forced evictions: a node budget smaller than one recipe makes
+    /// every access evict; results must still equal direct application.
+    #[test]
+    fn trie_cache_equals_direct_application_under_eviction(seed in 0u64..10_000) {
+        let aig = random_aig(6, 40, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE71C);
+        let mut trie = RecipeTrie::with_budget(aig.clone(), 3);
+        let mut recipe = Recipe::random(5, &mut rng);
+        for _ in 0..3 {
+            let cached = trie.apply(&recipe);
+            let direct = recipe.apply(&aig);
+            prop_assert_eq!(cached.num_ands(), direct.num_ands());
+            prop_assert_eq!(check_equivalence(&cached, &direct), Equivalence::Equivalent);
+            prop_assert!(trie.stats().live_nodes <= 3);
+            recipe = recipe.mutate(&mut rng);
+        }
+        prop_assert!(trie.stats().evictions > 0, "budget 3 must evict on length-5 recipes");
     }
 }
 
