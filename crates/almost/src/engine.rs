@@ -46,6 +46,7 @@ use crate::sa::{SaConfig, SaIteration, SaTrace};
 use almost_aig::{Aig, Pass};
 use almost_locking::LockedCircuit;
 use almost_netlist::{analyze, map_aig, CellLibrary, MapConfig, PpaReport};
+use almost_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
@@ -379,6 +380,16 @@ impl<'a> SearchEngine<'a> {
     /// (and are recorded as rejected without consuming an acceptance
     /// draw). See the module docs for the determinism contract.
     pub fn anneal(&mut self, initial: Recipe, config: &SaConfig) -> EngineRun {
+        let _span = telemetry::span(telemetry::Scope::Search, || {
+            format!(
+                "anneal {} steps x {}",
+                config.iterations,
+                config.proposals.max(1)
+            )
+        });
+        // Trie counters are cumulative across the engine's lifetime;
+        // snapshot them so each step event carries per-step deltas.
+        let mut last_cache = self.trie.stats();
         let k = config.proposals.max(1);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut current = initial;
@@ -397,7 +408,7 @@ impl<'a> SearchEngine<'a> {
         };
         let mut temperature = config.initial_temperature;
 
-        for _ in 0..config.iterations {
+        for step in 0..config.iterations {
             let batch: Vec<Recipe> = (0..k).map(|_| current.mutate(&mut rng)).collect();
             let batch_scores = self.evaluate_batch(&batch);
             let mut advanced = false;
@@ -427,6 +438,23 @@ impl<'a> SearchEngine<'a> {
                     best_objective: best_score.objective,
                 });
                 scores.push(*score);
+            }
+            if telemetry::tracing() {
+                let cache = self.trie.stats();
+                telemetry::trace(|| telemetry::EventKind::SearchStep {
+                    step: step as u32,
+                    candidates: k as u32,
+                    current: current_obj,
+                    best: best_score.objective,
+                    accepted: advanced,
+                    cache: telemetry::CacheDelta {
+                        hits: cache.hits - last_cache.hits,
+                        misses: cache.misses - last_cache.misses,
+                        evictions: cache.evictions - last_cache.evictions,
+                        live_nodes: cache.live_nodes as u64,
+                    },
+                });
+                last_cache = cache;
             }
             temperature *= alpha;
         }

@@ -94,6 +94,9 @@ impl DoubleDip {
         oracle: &dyn Oracle,
     ) -> DoubleDipRun {
         let started = Instant::now();
+        let _span = almost_telemetry::span(almost_telemetry::Scope::Attack, || {
+            format!("double_dip k={key_len}")
+        });
         let queries_at_start = oracle.queries_served();
         let num_data = locked.num_inputs() - key_len;
         let mut rng = StdRng::seed_from_u64(self.config.seed);

@@ -125,6 +125,9 @@ impl SatAttack {
         oracle: &dyn Oracle,
     ) -> SatAttackRun {
         let started = Instant::now();
+        let _span = almost_telemetry::span(almost_telemetry::Scope::Attack, || {
+            format!("sat_attack k={key_len}")
+        });
         // The oracle may have served other runs; report this run's delta.
         let queries_at_start = oracle.queries_served();
         let mut miter = KeyMiter::new(locked, key_start, key_len);

@@ -12,10 +12,14 @@
 //! (`ALMOST_JOBS` sets the width; results are re-assembled in job order,
 //! so the printed series and the CSV are identical to a serial run).
 
-use almost_bench::{banner, experiment_benchmarks, lock_benchmark, pool, write_csv};
+use almost_bench::{banner, experiment_benchmarks, lock_benchmark, pool, telemetry, write_csv};
 use almost_core::{generate_secure_recipe, train_proxy, ProxyKind, Scale};
 
 fn main() {
+    almost_bench::observed("fig4_sa_search", run);
+}
+
+fn run() {
     let scale = Scale::from_env();
     banner("Fig. 4: SA recipe search per evaluator", scale);
     let key_size = scale.key_sizes()[0];
@@ -74,13 +78,15 @@ fn main() {
         );
         // Liveness + cache markers (stderr, completion order): the
         // ordered table prints only after every pool cell finishes.
-        eprintln!("  [cell done] {} {}", bench.name(), kind.label());
-        eprintln!(
-            "  [cache] {} {}: {}",
-            bench.name(),
-            kind.label(),
-            result.engine.summary()
-        );
+        telemetry::cell_done(|| format!("{} {}", bench.name(), kind.label()));
+        telemetry::progress(|| {
+            format!(
+                "  [cache] {} {}: {}",
+                bench.name(),
+                kind.label(),
+                result.engine.summary()
+            )
+        });
         Cell {
             kind,
             series: result.accuracy_series,

@@ -11,13 +11,17 @@
 //! worker pool; results come back in job order, so console lines and CSV
 //! rows are identical to a serial run (`ALMOST_JOBS=1`).
 
-use almost_bench::{banner, experiment_benchmarks, lock_benchmark, pool, write_csv};
+use almost_bench::{banner, experiment_benchmarks, lock_benchmark, pool, telemetry, write_csv};
 use almost_core::{
     generate_secure_recipe, resynthesis_search, train_proxy, PpaObjective, ProxyKind, Recipe, Scale,
 };
 use almost_netlist::{analyze, map_aig, CellLibrary, MapConfig};
 
 fn main() {
+    almost_bench::observed("fig5_resynthesis", run);
+}
+
+fn run() {
     let scale = Scale::from_env();
     banner("Fig. 5: attacker re-synthesis for delay/area", scale);
     let key_size = scale.key_sizes()[0];
@@ -62,12 +66,14 @@ fn main() {
                     objective.label(),
                     result.correlation
                 ));
-            eprintln!(
-                "  [cache] {} minimize-{}: {}",
-                bench.name(),
-                objective.label(),
-                result.engine.summary()
-            );
+            telemetry::progress(|| {
+                format!(
+                    "  [cache] {} minimize-{}: {}",
+                    bench.name(),
+                    objective.label(),
+                    result.engine.summary()
+                )
+            });
             cell_corrs.push(result.correlation);
             let stats = result.engine;
             for (i, p) in result.series.iter().enumerate() {
@@ -86,7 +92,7 @@ fn main() {
         }
         // Liveness marker (stderr, completion order): the ordered output
         // prints only after every pool cell finishes.
-        eprintln!("  [cell done] {}", bench.name());
+        telemetry::cell_done(|| bench.name().to_string());
         (lines, cell_rows, cell_corrs)
     });
 

@@ -20,6 +20,10 @@ use almost_locking::CircuitOracle;
 use std::time::Instant;
 
 fn main() {
+    almost_bench::observed("sat_attack", run);
+}
+
+fn run() {
     let scale = Scale::from_env();
     banner("SAT attack: exact vs approximate key recovery", scale);
     let benches = match scale {

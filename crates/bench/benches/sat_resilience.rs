@@ -68,6 +68,10 @@ fn cec_ok(design: &almost_aig::Aig, locked: &LockedCircuit, key: &[bool]) -> boo
 type RenderedRow = (String, DipScalingRow, Vec<String>);
 
 fn main() {
+    almost_bench::observed("sat_resilience", run);
+}
+
+fn run() {
     let scale = Scale::from_env();
     banner("SAT resilience: DIPs required vs key size", scale);
     let benches = match scale {

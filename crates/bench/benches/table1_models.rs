@@ -10,6 +10,10 @@ use almost_bench::{banner, experiment_benchmarks, lock_benchmark, pct, write_csv
 use almost_core::{accuracy_on_random_set, train_proxy, ProxyKind, Recipe, Scale};
 
 fn main() {
+    almost_bench::observed("table1_models", run);
+}
+
+fn run() {
     let scale = Scale::from_env();
     banner(
         "Table I: proxy-model accuracy (resyn2 vs random set)",

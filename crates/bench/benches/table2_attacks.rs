@@ -15,12 +15,17 @@ use almost_attacks::{
     RedundancyConfig, SatAttack, SatAttackConfig, Scope, ScopeConfig,
 };
 use almost_bench::{
-    banner, experiment_benchmarks, lock_benchmark, lock_benchmark_with, pct, pool, write_csv,
+    banner, experiment_benchmarks, lock_benchmark, lock_benchmark_with, pct, pool, telemetry,
+    write_csv,
 };
 use almost_core::{generate_secure_recipe, train_proxy, ProxyKind, Recipe, Scale};
 use almost_locking::{CircuitOracle, LockingScheme, Rll, SarLock, Stacked};
 
 fn main() {
+    almost_bench::observed("table2_attacks", run);
+}
+
+fn run() {
     let scale = Scale::from_env();
     banner("Table II: SOTA attacks, resyn2 vs ALMOST recipe", scale);
 
@@ -169,10 +174,14 @@ fn main() {
                     pct(out.accuracy),
                 ]);
             }
-            // Liveness marker (stderr, completion order): cells take
-            // minutes each — the ordered table itself prints only after
-            // every cell finishes.
-            eprintln!("  [cell done] {} k={}", bench.name(), key_size);
+            // Liveness (stderr, completion order): cells take minutes
+            // each and the ordered stdout table prints only after every
+            // cell finishes, so stream this cell's result rows through
+            // the event channel the moment they exist.
+            for line in &lines {
+                telemetry::progress(|| line.clone());
+            }
+            telemetry::cell_done(|| format!("{} k={}", bench.name(), key_size));
             (lines, rows, omla_drop)
         },
     );

@@ -10,6 +10,10 @@ use almost_core::{generate_secure_recipe, train_proxy, ProxyKind, Recipe, Scale}
 use almost_netlist::{analyze, map_aig, CellLibrary, MapConfig};
 
 fn main() {
+    almost_bench::observed("table3_ppa", run);
+}
+
+fn run() {
     let scale = Scale::from_env();
     banner(
         "Table III: PPA overhead of ALMOST vs locked baseline",

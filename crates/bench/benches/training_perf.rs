@@ -32,6 +32,10 @@ use rand::SeedableRng;
 use std::time::Instant;
 
 fn main() {
+    almost_bench::observed("training_perf", run);
+}
+
+fn run() {
     let scale = Scale::from_env();
     banner("Training perf: dense serial vs CSR + data-parallel", scale);
     println!("  workers: {} (ALMOST_JOBS overrides)", pool::num_workers());

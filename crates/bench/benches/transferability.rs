@@ -7,11 +7,15 @@
 //! do not transfer across recipes, motivating the proxy model M\*.
 
 use almost_attacks::{Omla, OmlaConfig};
-use almost_bench::{banner, lock_benchmark, pct, pool, write_csv};
+use almost_bench::{banner, lock_benchmark, pct, pool, telemetry, write_csv};
 use almost_circuits::IscasBenchmark;
 use almost_core::{ProxyConfig, Recipe, Scale};
 
 fn main() {
+    almost_bench::observed("transferability", run);
+}
+
+fn run() {
     let scale = Scale::from_env();
     banner("Transferability: accuracy(T_Si, M_Sj) on c5315", scale);
     let locked = lock_benchmark(IscasBenchmark::C5315, scale.key_sizes()[0]);
@@ -58,7 +62,7 @@ fn main() {
             .collect();
         // Liveness marker (stderr, completion order): the ordered output
         // prints only after both models finish.
-        eprintln!("  [cell done] M_{}", recipes[j].0);
+        telemetry::cell_done(|| format!("M_{}", recipes[j].0));
         accs
     });
 

@@ -16,6 +16,7 @@
 //! path is kept as a re-export for the harnesses.
 
 pub use almost_pool as pool;
+pub use almost_telemetry as telemetry;
 
 use almost_circuits::IscasBenchmark;
 use almost_core::Scale;
@@ -116,6 +117,22 @@ pub fn pct(x: f64) -> String {
 pub fn banner(title: &str, scale: Scale) {
     println!();
     println!("=== {title} (scale: {}) ===", scale.label());
+}
+
+/// Standard harness telemetry setup: stderr progress + end-of-run summary
+/// (with `BENCH_<name>.json` next to the CSVs), plus JSONL and Chrome
+/// trace sinks when `ALMOST_TRACE=<path>` is set. Pair with [`observed`]
+/// or call [`telemetry::finish`] before exit.
+pub fn observe(name: &str) {
+    telemetry::init_harness(name, Some(&out_dir()));
+}
+
+/// Runs a harness body under [`observe`]/[`telemetry::finish`], so every
+/// exit path flushes the sinks and renders the summary table.
+pub fn observed(name: &str, body: impl FnOnce()) {
+    observe(name);
+    body();
+    telemetry::finish();
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@ use crate::optim::Adam;
 use crate::tape::Tape;
 use crate::tensor::Matrix;
 use almost_pool as pool;
+use almost_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -166,7 +167,25 @@ fn train_impl(
         .map(|p| Matrix::zeros(p.rows(), p.cols()))
         .collect();
 
+    // Latched once: the per-epoch instrumentation below must cost the
+    // disabled path nothing beyond this one load (the overhead envelope
+    // test pins the disabled hot loop to zero extra allocations).
+    let trace_on = telemetry::tracing();
+    let _span = if trace_on {
+        Some(telemetry::span(telemetry::Scope::Trainer, || {
+            format!("train {} graphs x {} epochs", graphs.len(), config.epochs)
+        }))
+    } else {
+        None
+    };
+    let mut last_tape = (0u64, 0u64);
+
     for epoch in 0..config.epochs {
+        let epoch_start = if trace_on {
+            Some(telemetry::clock::now_us())
+        } else {
+            None
+        };
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f32;
         let mut batches = 0usize;
@@ -236,6 +255,22 @@ fn train_impl(
         }
         let mean_loss = epoch_loss / batches.max(1) as f32;
         epoch_losses.push(mean_loss);
+        if let Some(start) = epoch_start {
+            let (mut ops, mut allocs) = (0u64, 0u64);
+            for state in &blocks {
+                let stats = state.lock().expect("block lock").tape.stats();
+                ops += stats.nodes_recorded;
+                allocs += stats.fresh_buffers;
+            }
+            telemetry::trace(|| telemetry::EventKind::TrainEpoch {
+                epoch: epoch as u32,
+                loss: f64::from(mean_loss),
+                wall_us: telemetry::clock::now_us().saturating_sub(start),
+                tape_ops: ops - last_tape.0,
+                tape_allocs: allocs - last_tape.1,
+            });
+            last_tape = (ops, allocs);
+        }
         on_epoch(epoch, mean_loss);
     }
 

@@ -17,6 +17,7 @@
 //! columns aside, which is why the CI `perf-smoke` job diffs
 //! `sat_resilience.csv`, the CSV with no timing column.
 
+use almost_telemetry as telemetry;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::{mpsc, Mutex};
@@ -67,6 +68,10 @@ where
             .map(|(i, t)| f(i, t))
             .collect();
     }
+    // Latch the tracing flag once per batch: the per-job path must not
+    // even load the atomic when telemetry is disabled, and a sink
+    // installed mid-batch should not produce a half-instrumented batch.
+    let trace_on = telemetry::tracing();
 
     // Deal jobs round-robin onto per-worker deques.
     let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
@@ -79,10 +84,20 @@ where
     }
     let (tx, rx) = mpsc::channel::<(usize, R)>();
 
+    // Per-worker tallies for the end-of-batch summary event; only
+    // written by worker `w`, read after the scope joins.
+    let tallies: Vec<Mutex<telemetry::WorkerTally>> = if trace_on {
+        (0..workers)
+            .map(|_| Mutex::new(telemetry::WorkerTally::default()))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     std::thread::scope(|scope| {
         for w in 0..workers {
             let tx = tx.clone();
-            let (queues, f) = (&queues, &f);
+            let (queues, f, tallies) = (&queues, &f, &tallies);
             scope.spawn(move || {
                 IN_POOL_WORKER.with(|flag| flag.set(true));
                 loop {
@@ -93,6 +108,7 @@ where
                     // would make the lock order cyclic across workers
                     // (deadlock).
                     let own = queues[w].lock().expect("queue lock").pop_front();
+                    let stolen = own.is_none();
                     let job = own.or_else(|| {
                         (1..workers).find_map(|d| {
                             queues[(w + d) % workers]
@@ -103,7 +119,26 @@ where
                     });
                     match job {
                         Some((i, item)) => {
-                            let _ = tx.send((i, f(i, item)));
+                            if trace_on {
+                                let start_us = telemetry::clock::now_us();
+                                let result = f(i, item);
+                                let dur_us = telemetry::clock::now_us().saturating_sub(start_us);
+                                telemetry::trace(|| telemetry::EventKind::PoolJob {
+                                    worker: w as u32,
+                                    job: i as u32,
+                                    stolen,
+                                    start_us,
+                                    dur_us,
+                                });
+                                let mut tally = tallies[w].lock().expect("tally lock");
+                                tally.executed += 1;
+                                tally.stolen += u32::from(stolen);
+                                tally.busy_us += dur_us;
+                                drop(tally);
+                                let _ = tx.send((i, result));
+                            } else {
+                                let _ = tx.send((i, f(i, item)));
+                            }
                         }
                         // No job is ever enqueued after the deal above,
                         // so a full sweep finding every queue empty means
@@ -117,6 +152,17 @@ where
         }
         drop(tx);
     });
+
+    if trace_on {
+        telemetry::trace(|| telemetry::EventKind::PoolBatch {
+            jobs: n as u32,
+            workers: workers as u32,
+            per_worker: tallies
+                .iter()
+                .map(|t| *t.lock().expect("tally lock"))
+                .collect(),
+        });
+    }
 
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     for (i, r) in rx {

@@ -203,7 +203,15 @@ impl DoubleDipMiter {
             Some(budget) => self.solver.solve_limited(&[self.act], budget),
         };
         match result {
-            None => TwoDipSearch::OutOfBudget,
+            None => {
+                let budget = max_conflicts.unwrap_or(0);
+                almost_telemetry::trace(|| almost_telemetry::EventKind::BudgetExhausted {
+                    engine: "double_dip_miter",
+                    budget,
+                    conflicts: self.solver.stats().conflicts,
+                });
+                TwoDipSearch::OutOfBudget
+            }
             Some(SatResult::Unsat) => TwoDipSearch::Settled,
             Some(SatResult::Sat) => TwoDipSearch::Found(
                 self.x_vars

@@ -139,7 +139,15 @@ impl KeyMiter {
             Some(budget) => self.solver.solve_limited(&[self.act], budget),
         };
         match result {
-            None => DipSearch::OutOfBudget,
+            None => {
+                let budget = max_conflicts.unwrap_or(0);
+                almost_telemetry::trace(|| almost_telemetry::EventKind::BudgetExhausted {
+                    engine: "key_miter",
+                    budget,
+                    conflicts: self.solver.stats().conflicts,
+                });
+                DipSearch::OutOfBudget
+            }
             Some(SatResult::Unsat) => DipSearch::Settled,
             Some(SatResult::Sat) => DipSearch::Found(
                 self.x_vars

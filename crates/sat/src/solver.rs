@@ -13,7 +13,20 @@
 //! and without reduction the learnt database grows without bound.
 
 use crate::heap::ActivityHeap;
+use almost_telemetry as telemetry;
 use std::fmt;
+
+/// The telemetry mirror of [`SolverStats`]' search-effort counters
+/// (database-size fields are gauges, not effort, and stay out of the
+/// event stream).
+fn counters(s: SolverStats) -> telemetry::SolverCounters {
+    telemetry::SolverCounters {
+        decisions: s.decisions,
+        propagations: s.propagations,
+        conflicts: s.conflicts,
+        restarts: s.restarts,
+    }
+}
 
 /// A solver variable (0-based index).
 pub type SatVar = u32;
@@ -118,6 +131,11 @@ const DEFAULT_REDUCE_THRESHOLD: usize = 4000;
 /// Luby restart unit, in conflicts.
 const RESTART_BASE: u64 = 100;
 
+/// Telemetry heartbeat period, in conflicts (must be a power of two: the
+/// conflict path tests `num_conflicts & (PROGRESS_INTERVAL - 1) == 0`,
+/// which costs one AND+branch when telemetry is disabled).
+const PROGRESS_INTERVAL: u64 = 8192;
+
 /// A stored clause: original clauses keep only their literals; learnt
 /// clauses additionally carry an activity (bumped when they participate in
 /// conflict analysis) and their literal-block distance at learn time.
@@ -160,6 +178,10 @@ pub struct Solver {
     num_propagations: u64,
     num_restarts: u64,
     num_learnts_deleted: u64,
+    /// Stats at the previous telemetry heartbeat, so each
+    /// `SolverProgress` event carries deltas an aggregator can sum
+    /// across many solver instances.
+    last_progress: SolverStats,
 }
 
 impl Default for Solver {
@@ -196,6 +218,7 @@ impl Solver {
             num_propagations: 0,
             num_restarts: 0,
             num_learnts_deleted: 0,
+            last_progress: SolverStats::default(),
         }
     }
 
@@ -234,6 +257,29 @@ impl Solver {
             learnts_kept: self.num_learnts as u64,
             learnts_deleted: self.num_learnts_deleted,
         }
+    }
+
+    /// Emits a telemetry heartbeat carrying both cumulative counters and
+    /// deltas since the previous heartbeat. No-op (and no allocation)
+    /// when no trace sink is installed.
+    fn emit_progress(&mut self) {
+        if !telemetry::tracing() {
+            return;
+        }
+        let stats = self.stats();
+        let last = self.last_progress;
+        self.last_progress = stats;
+        telemetry::trace(|| telemetry::EventKind::SolverProgress {
+            total: counters(stats),
+            delta: counters(SolverStats {
+                decisions: stats.decisions - last.decisions,
+                propagations: stats.propagations - last.propagations,
+                conflicts: stats.conflicts - last.conflicts,
+                restarts: stats.restarts - last.restarts,
+                learnts_kept: 0,
+                learnts_deleted: 0,
+            }),
+        });
     }
 
     /// Enables or disables learnt-clause database reduction (on by
@@ -684,6 +730,9 @@ impl Solver {
                 self.num_conflicts += 1;
                 conflicts_since_restart += 1;
                 conflicts_this_call += 1;
+                if self.num_conflicts & (PROGRESS_INTERVAL - 1) == 0 {
+                    self.emit_progress();
+                }
                 if self.trail_lim.is_empty() {
                     self.unsat = true;
                     return Some(SatResult::Unsat);

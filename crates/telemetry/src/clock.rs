@@ -1,0 +1,66 @@
+//! Monotonic process clock and small per-thread ordinals.
+//!
+//! Every event carries a timestamp in microseconds since the **process
+//! epoch** — the first time any telemetry call touched the clock — so
+//! timelines from different sinks line up without wall-clock skew, and a
+//! thread ordinal assigned on first use (the main thread is almost always
+//! `0`; pool workers get small consecutive ids). Ordinals are what the
+//! Chrome-trace exporter uses as `tid`s, so they must be cheap to read
+//! (one thread-local load on the fast path) and stable for the lifetime
+//! of the thread.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_ORDINAL: AtomicU32 = AtomicU32::new(0);
+
+std::thread_local! {
+    static ORDINAL: Cell<u32> = const { Cell::new(u32::MAX) };
+}
+
+/// Microseconds since the process epoch (monotonic, never goes backwards).
+pub fn now_us() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// Pins the epoch to "now" if no telemetry call has touched the clock yet
+/// (harness inits call this so `t_us = 0` means "harness start").
+pub fn pin_epoch() {
+    let _ = EPOCH.get_or_init(Instant::now);
+}
+
+/// This thread's small ordinal (assigned on first call, stable after).
+pub fn thread_ordinal() -> u32 {
+    ORDINAL.with(|c| {
+        let v = c.get();
+        if v != u32::MAX {
+            return v;
+        }
+        let v = NEXT_ORDINAL.fetch_add(1, Ordering::Relaxed);
+        c.set(v);
+        v
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn ordinals_are_stable_per_thread_and_distinct_across_threads() {
+        let mine = thread_ordinal();
+        assert_eq!(mine, thread_ordinal(), "ordinal is sticky");
+        let theirs = std::thread::spawn(thread_ordinal).join().expect("join");
+        assert_ne!(mine, theirs, "another thread gets its own ordinal");
+    }
+}

@@ -1,0 +1,313 @@
+//! End-of-run aggregation.
+//!
+//! [`SummarySink`] folds the event stream into one [`SummaryReport`]:
+//! pool occupancy, solver effort, search-cache behaviour and trainer
+//! throughput, summed across every instance that emitted (the delta
+//! convention in `event.rs` makes that a plain accumulation). On finish
+//! it renders a compact stderr table — the table harnesses used to
+//! hand-build — and writes a machine-readable `BENCH_<name>.json`.
+
+use crate::event::{Event, EventKind};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Aggregated run statistics (also serialised as `BENCH_<name>.json`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SummaryReport {
+    /// Harness name (the `BENCH_*.json` stem).
+    pub name: String,
+    /// Wall time from init to finish, microseconds.
+    pub wall_us: u64,
+    /// Cells completed.
+    pub cells: u64,
+    /// Pool jobs executed.
+    pub pool_jobs: u64,
+    /// Of those, stolen from a sibling queue.
+    pub pool_stolen: u64,
+    /// Summed worker busy time, microseconds.
+    pub pool_busy_us: u64,
+    /// Pool batches dispatched.
+    pub pool_batches: u64,
+    /// Solver conflicts (summed deltas across all solver instances).
+    pub solver_conflicts: u64,
+    /// Solver propagations (summed deltas).
+    pub solver_propagations: u64,
+    /// Solver restarts (summed deltas).
+    pub solver_restarts: u64,
+    /// Budget-exhaustion events.
+    pub budget_exhaustions: u64,
+    /// Search temperature steps.
+    pub search_steps: u64,
+    /// Candidates proposed across all steps.
+    pub search_candidates: u64,
+    /// Steps that accepted a candidate.
+    pub search_accepted: u64,
+    /// Synthesis-cache hits (summed deltas).
+    pub cache_hits: u64,
+    /// Synthesis-cache misses (summed deltas).
+    pub cache_misses: u64,
+    /// Synthesis-cache evictions (summed deltas).
+    pub cache_evictions: u64,
+    /// Training epochs.
+    pub train_epochs: u64,
+    /// Summed epoch wall time, microseconds.
+    pub train_wall_us: u64,
+    /// Final epoch's loss (last `TrainEpoch` seen).
+    pub train_last_loss: f64,
+    /// Tape nodes recorded (summed deltas).
+    pub tape_ops: u64,
+    /// Fresh tape buffers allocated (summed deltas).
+    pub tape_allocs: u64,
+}
+
+impl SummaryReport {
+    /// The `BENCH_<name>.json` payload.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = write!(
+            s,
+            "  \"name\": \"{}\",\n  \"wall_us\": {},\n  \"cells\": {},\n  \"pool\": {{\"jobs\": {}, \"stolen\": {}, \"busy_us\": {}, \"batches\": {}}},\n  \"solver\": {{\"conflicts\": {}, \"propagations\": {}, \"restarts\": {}, \"budget_exhaustions\": {}}},\n  \"search\": {{\"steps\": {}, \"candidates\": {}, \"accepted\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}}},\n  \"trainer\": {{\"epochs\": {}, \"wall_us\": {}, \"last_loss\": {}, \"tape_ops\": {}, \"tape_allocs\": {}}}\n",
+            crate::json::escape(&self.name),
+            self.wall_us,
+            self.cells,
+            self.pool_jobs,
+            self.pool_stolen,
+            self.pool_busy_us,
+            self.pool_batches,
+            self.solver_conflicts,
+            self.solver_propagations,
+            self.solver_restarts,
+            self.budget_exhaustions,
+            self.search_steps,
+            self.search_candidates,
+            self.search_accepted,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.train_epochs,
+            self.train_wall_us,
+            if self.train_last_loss.is_finite() { self.train_last_loss } else { 0.0 },
+            self.tape_ops,
+            self.tape_allocs,
+        );
+        s.push('}');
+        s.push('\n');
+        s
+    }
+
+    /// The stderr summary table (only sections that saw activity).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "[telemetry] {} summary: {:.2}s wall, {} cells",
+            self.name,
+            self.wall_us as f64 / 1e6,
+            self.cells
+        );
+        if self.pool_jobs > 0 {
+            let _ = writeln!(
+                s,
+                "[telemetry]   pool    | {} jobs ({} stolen) over {} batches, {:.2}s busy",
+                self.pool_jobs,
+                self.pool_stolen,
+                self.pool_batches,
+                self.pool_busy_us as f64 / 1e6
+            );
+        }
+        if self.solver_conflicts > 0 || self.budget_exhaustions > 0 {
+            let _ = writeln!(
+                s,
+                "[telemetry]   solver  | {} conflicts, {} propagations, {} restarts, {} budget exhaustions",
+                self.solver_conflicts,
+                self.solver_propagations,
+                self.solver_restarts,
+                self.budget_exhaustions
+            );
+        }
+        if self.search_steps > 0 {
+            let _ = writeln!(
+                s,
+                "[telemetry]   search  | {} steps, {} candidates ({} accepted), cache {}h/{}m/{}e",
+                self.search_steps,
+                self.search_candidates,
+                self.search_accepted,
+                self.cache_hits,
+                self.cache_misses,
+                self.cache_evictions
+            );
+        }
+        if self.train_epochs > 0 {
+            let _ = writeln!(
+                s,
+                "[telemetry]   trainer | {} epochs in {:.2}s, final loss {:.4}, {} tape ops ({} fresh buffers)",
+                self.train_epochs,
+                self.train_wall_us as f64 / 1e6,
+                self.train_last_loss,
+                self.tape_ops,
+                self.tape_allocs
+            );
+        }
+        s
+    }
+}
+
+/// The aggregating sink installed by `init_harness`.
+pub struct SummarySink {
+    report: SummaryReport,
+    start_us: u64,
+    /// Where to write `BENCH_<name>.json` (skipped when `None`).
+    out_dir: Option<PathBuf>,
+    /// Render the table to stderr on finish.
+    render_stderr: bool,
+}
+
+impl SummarySink {
+    /// A new aggregator for harness `name`.
+    pub fn new(name: &str, out_dir: Option<PathBuf>, render_stderr: bool) -> Self {
+        SummarySink {
+            report: SummaryReport {
+                name: name.to_string(),
+                ..SummaryReport::default()
+            },
+            start_us: crate::clock::now_us(),
+            out_dir,
+            render_stderr,
+        }
+    }
+}
+
+impl super::sink::Sink for SummarySink {
+    fn record(&mut self, event: &Event) {
+        let r = &mut self.report;
+        match &event.kind {
+            EventKind::PoolJob { stolen, dur_us, .. } => {
+                r.pool_jobs += 1;
+                r.pool_stolen += u64::from(*stolen);
+                r.pool_busy_us += dur_us;
+            }
+            EventKind::PoolBatch { .. } => r.pool_batches += 1,
+            EventKind::SolverProgress { delta, .. } => {
+                r.solver_conflicts += delta.conflicts;
+                r.solver_propagations += delta.propagations;
+                r.solver_restarts += delta.restarts;
+            }
+            EventKind::BudgetExhausted { .. } => r.budget_exhaustions += 1,
+            EventKind::SearchStep {
+                candidates,
+                accepted,
+                cache,
+                ..
+            } => {
+                r.search_steps += 1;
+                r.search_candidates += u64::from(*candidates);
+                r.search_accepted += u64::from(*accepted);
+                r.cache_hits += cache.hits;
+                r.cache_misses += cache.misses;
+                r.cache_evictions += cache.evictions;
+            }
+            EventKind::TrainEpoch {
+                loss,
+                wall_us,
+                tape_ops,
+                tape_allocs,
+                ..
+            } => {
+                r.train_epochs += 1;
+                r.train_wall_us += wall_us;
+                r.train_last_loss = *loss;
+                r.tape_ops += tape_ops;
+                r.tape_allocs += tape_allocs;
+            }
+            EventKind::CellDone { .. } => r.cells += 1,
+            EventKind::SpanOpen { .. }
+            | EventKind::SpanClose { .. }
+            | EventKind::Message { .. } => {}
+        }
+    }
+
+    fn finish(&mut self) {
+        self.report.wall_us = crate::clock::now_us().saturating_sub(self.start_us);
+        if let Some(dir) = &self.out_dir {
+            let _ = std::fs::create_dir_all(dir);
+            let path = dir.join(format!("BENCH_{}.json", self.report.name));
+            if let Err(e) = std::fs::write(&path, self.report.to_json()) {
+                eprintln!("[telemetry] cannot write {}: {e}", path.display());
+            }
+        }
+        if self.render_stderr {
+            eprint!("{}", self.report.render());
+        }
+    }
+
+    fn take_summary(&mut self) -> Option<SummaryReport> {
+        Some(self.report.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CacheDelta, SolverCounters};
+    use crate::json;
+    use crate::sink::Sink;
+
+    #[test]
+    fn aggregates_deltas_and_serialises_valid_json() {
+        let mut sink = SummarySink::new("unit", None, false);
+        for i in 0..3u64 {
+            sink.record(&Event {
+                t_us: i,
+                thread: 0,
+                kind: EventKind::SolverProgress {
+                    total: SolverCounters {
+                        conflicts: (i + 1) * 10,
+                        ..Default::default()
+                    },
+                    delta: SolverCounters {
+                        conflicts: 10,
+                        propagations: 5,
+                        ..Default::default()
+                    },
+                },
+            });
+        }
+        sink.record(&Event {
+            t_us: 4,
+            thread: 0,
+            kind: EventKind::SearchStep {
+                step: 0,
+                candidates: 8,
+                current: 0.5,
+                best: 0.5,
+                accepted: true,
+                cache: CacheDelta {
+                    hits: 2,
+                    misses: 6,
+                    evictions: 1,
+                    live_nodes: 10,
+                },
+            },
+        });
+        sink.record(&Event {
+            t_us: 5,
+            thread: 0,
+            kind: EventKind::CellDone { label: "x".into() },
+        });
+        sink.finish();
+        let report = sink.take_summary().expect("summary");
+        assert_eq!(report.solver_conflicts, 30, "summed deltas, not totals");
+        assert_eq!(report.solver_propagations, 15);
+        assert_eq!(report.search_candidates, 8);
+        assert_eq!(report.cache_misses, 6);
+        assert_eq!(report.cells, 1);
+        let v = json::parse(&report.to_json()).expect("BENCH json parses");
+        assert_eq!(v.get("name").and_then(|n| n.as_str()), Some("unit"));
+        assert_eq!(
+            v.get("solver")
+                .and_then(|s| s.get("conflicts"))
+                .and_then(|c| c.as_u64()),
+            Some(30)
+        );
+    }
+}

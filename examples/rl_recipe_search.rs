@@ -13,10 +13,12 @@ use almost_repro::almost::{
 };
 use almost_repro::circuits::IscasBenchmark;
 use almost_repro::locking::{LockingScheme, Rll};
+use almost_repro::telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    telemetry::init_harness("rl_recipe_search", None);
     let scale = Scale::from_env();
     let design = IscasBenchmark::C432.build();
     let mut rng = StdRng::seed_from_u64(0x21);
@@ -46,7 +48,9 @@ fn main() {
         rl.policy.mean_entropy(),
         7.0f64.ln()
     );
-    println!("  [cache] RL episodes: {}", engine.stats().summary());
+    // Cache liveness goes to stderr via the progress sink, matching the
+    // bench harnesses (stdout keeps only the comparison report).
+    telemetry::progress(|| format!("  [cache] RL episodes: {}", engine.stats().summary()));
 
     // SA for comparison, same budget.
     let mut sa_cfg = scale.sa_config(5);
@@ -57,7 +61,8 @@ fn main() {
         sa.recipe,
         (sa.accuracy - 0.5).abs()
     );
-    println!("  [cache] SA search:   {}", sa.engine.summary());
+    telemetry::progress(|| format!("  [cache] SA search:   {}", sa.engine.summary()));
     println!("\nBoth searchers target predicted attack accuracy ~50%;");
     println!("the RL policy additionally yields a *distribution* over resilient recipes.");
+    telemetry::finish();
 }

@@ -12,10 +12,12 @@ use almost_repro::almost::{
 };
 use almost_repro::circuits::IscasBenchmark;
 use almost_repro::netlist::{analyze, map_aig, CellLibrary, MapConfig};
+use almost_repro::telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    telemetry::init_harness("synthesis_explorer", None);
     let bench = IscasBenchmark::C1908;
     let aig = bench.build();
     let lib = CellLibrary::nangate45();
@@ -91,8 +93,11 @@ fn main() {
         run.best_score.area_ratio.unwrap_or(f64::NAN),
         run.best_score.objective
     );
-    println!("  [cache] {}", engine.stats().summary());
+    // Cache liveness goes through the stderr progress sink (like the
+    // bench harnesses), keeping stdout to the report itself.
+    telemetry::progress(|| format!("  [cache] {}", engine.stats().summary()));
 
     println!("\nresyn2 as a script: {}", Script::resyn2());
     println!("Every recipe preserves function (SAT-checked in the test suite).");
+    telemetry::finish();
 }

@@ -17,6 +17,10 @@
 //!   approximate mode, and the Double-DIP point-function breaker).
 //! - [`almost`] — the ALMOST framework: recipes, simulated annealing,
 //!   adversarial proxy-model training, security-aware synthesis.
+//! - [`pool`] — deterministic work-stealing thread pool (`ALMOST_JOBS`).
+//! - [`telemetry`] — structured spans, typed events, and pluggable sinks
+//!   (stderr progress, `ALMOST_TRACE` JSONL + Chrome trace export,
+//!   end-of-run summaries); see the README's Observability section.
 //!
 //! The two threat models meet in `attacks::report`: oracle-less attacks
 //! are scored per key bit, oracle-guided attacks report DIP counts,
@@ -46,4 +50,30 @@ pub use almost_core as almost;
 pub use almost_locking as locking;
 pub use almost_ml as ml;
 pub use almost_netlist as netlist;
+pub use almost_pool as pool;
 pub use almost_sat as sat;
+pub use almost_telemetry as telemetry;
+
+/// Helpers shared by the repo's integration tests (compiled into the
+/// library so every `tests/*.rs` target can use one copy instead of
+/// pasting its own).
+pub mod testutil {
+    /// True when perf-sensitive test bodies should run: integration tests
+    /// that assert wall-time envelopes or allocation counts are only
+    /// meaningful in release mode (`cargo test --release`), so debug runs
+    /// print a skip note and return early.
+    ///
+    /// ```ignore
+    /// if !almost_repro::testutil::release_mode("my_perf_test") {
+    ///     return;
+    /// }
+    /// ```
+    pub fn release_mode(what: &str) -> bool {
+        if cfg!(debug_assertions) {
+            eprintln!("skipping {what}: debug build (run with --release)");
+            false
+        } else {
+            true
+        }
+    }
+}

@@ -24,8 +24,7 @@ use rand::SeedableRng;
 
 #[test]
 fn sa_search_throughput_envelope() {
-    if cfg!(debug_assertions) {
-        eprintln!("skipping: the envelope is calibrated for --release");
+    if !almost_repro::testutil::release_mode("sa_search_throughput_envelope") {
         return;
     }
     let mut rng = StdRng::seed_from_u64(0x19A8);

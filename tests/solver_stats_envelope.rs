@@ -56,8 +56,7 @@ fn check(range: (u64, u64), got: u64, what: &str, bench: IscasBenchmark) {
 
 #[test]
 fn exact_attack_effort_stays_inside_the_pinned_envelope() {
-    if cfg!(debug_assertions) {
-        eprintln!("skipping solver-stats envelope (release-mode test; run with --release)");
+    if !almost_repro::testutil::release_mode("solver-stats envelope") {
         return;
     }
     let envelopes = [

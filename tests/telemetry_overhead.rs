@@ -1,0 +1,152 @@
+//! Telemetry overhead envelope (ISSUE 6 satellite): "off by default and
+//! zero-cost when off" is asserted, not assumed.
+//!
+//! A counting `#[global_allocator]` pins the *exact* allocation count of
+//! a deterministic GIN training run, so the test proves:
+//!
+//! - the disabled path adds **zero** allocations to the trainer hot loop
+//!   (two identical runs allocate identically, before telemetry was ever
+//!   initialised and again after a traced harness has been torn down);
+//! - the enabled path really does emit (it allocates strictly more — the
+//!   counter is wired, not trivially passing);
+//! - in release builds, the traced run stays inside a generous wall-time
+//!   envelope of the untraced run, so event construction can never
+//!   dominate the training it observes.
+//!
+//! One `#[test]` only: the test mutates the process-global `ALMOST_JOBS`
+//! and `ALMOST_TRACE` variables and the global telemetry registry, so
+//! nothing may run concurrently with it. `ALMOST_JOBS=1` keeps the run
+//! on the calling thread (the pool's serial bypass) — thread spawns
+//! would make allocation counts nondeterministic.
+
+use almost_repro::ml::gin::{GinClassifier, Graph};
+use almost_repro::ml::tensor::Matrix;
+use almost_repro::ml::train::{train, TrainConfig, TrainStats};
+use almost_repro::telemetry;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates to `System` verbatim; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn dataset() -> Vec<Graph> {
+    let mut state = 0x0BEDu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..48)
+        .map(|_| {
+            let nodes = 8 + (next() % 17) as usize;
+            let label = next() % 2 == 0;
+            let mut f = Matrix::zeros(nodes, 7);
+            for r in 0..nodes {
+                f.set(r, (next() % 7) as usize, 1.0);
+                if label {
+                    f.set(r, 0, 1.0);
+                }
+            }
+            let edges: Vec<(usize, usize)> = (1..nodes).map(|v| (v / 2, v)).collect();
+            Graph::from_edges(nodes, &edges, f, label)
+        })
+        .collect()
+}
+
+/// One deterministic training run; returns (allocations, wall, stats).
+fn measured_run(data: &[Graph]) -> (u64, f64, TrainStats) {
+    let mut model = GinClassifier::new(7, 12, 2, 2);
+    let config = TrainConfig {
+        epochs: 4,
+        batch_size: 16,
+        learning_rate: 5e-3,
+        seed: 11,
+    };
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let stats = train(&mut model, data, &config);
+    let wall = start.elapsed().as_secs_f64();
+    (ALLOCS.load(Ordering::Relaxed) - before, wall, stats)
+}
+
+#[test]
+fn disabled_telemetry_adds_zero_allocations_to_training() {
+    std::env::set_var("ALMOST_JOBS", "1");
+    std::env::remove_var("ALMOST_TRACE");
+    let data = dataset();
+
+    // Warm up process-level lazy state, then pin the disabled baseline.
+    let _ = measured_run(&data);
+    let (baseline_allocs, baseline_wall, baseline_stats) = measured_run(&data);
+    let (repeat_allocs, _, repeat_stats) = measured_run(&data);
+    assert_eq!(
+        baseline_allocs, repeat_allocs,
+        "identical disabled runs must allocate identically"
+    );
+    assert_eq!(baseline_stats.tape_ops, repeat_stats.tape_ops);
+
+    // Traced run: JSONL + Chrome + summary sinks, per-epoch events.
+    let dir = std::env::temp_dir().join(format!("almost_telemetry_oh_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let jsonl = dir.join("overhead.jsonl");
+    std::env::set_var("ALMOST_TRACE", &jsonl);
+    telemetry::init_harness("telemetry_overhead_it", Some(&dir));
+    let (traced_allocs, traced_wall, traced_stats) = measured_run(&data);
+    telemetry::finish().expect("summary report");
+    std::env::remove_var("ALMOST_TRACE");
+    assert_eq!(
+        traced_stats.tape_ops, baseline_stats.tape_ops,
+        "tracing must not change the computation"
+    );
+    assert!(
+        traced_allocs > baseline_allocs,
+        "the traced run must visibly allocate for its events \
+         (traced {traced_allocs} vs baseline {baseline_allocs}) — otherwise \
+         this test is not measuring anything"
+    );
+
+    // After teardown the disabled path is bit-for-bit free again.
+    let (after_allocs, _, _) = measured_run(&data);
+    assert_eq!(
+        after_allocs, baseline_allocs,
+        "after `telemetry::finish()` the hot loop must allocate exactly \
+         as if telemetry had never been enabled (zero-residue teardown)"
+    );
+
+    eprintln!(
+        "allocs: disabled {baseline_allocs}, traced {traced_allocs}; \
+         wall: disabled {:.1} ms, traced {:.1} ms",
+        baseline_wall * 1e3,
+        traced_wall * 1e3
+    );
+    if almost_repro::testutil::release_mode("telemetry wall-time envelope") {
+        // Generous: per-epoch events are a handful of small allocations
+        // against thousands of tape ops, so even 2x would be absurd.
+        assert!(
+            traced_wall < baseline_wall * 2.0 + 0.05,
+            "traced training took {traced_wall:.3}s vs {baseline_wall:.3}s \
+             untraced — telemetry overhead blew the envelope"
+        );
+    }
+
+    std::env::remove_var("ALMOST_JOBS");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,272 @@
+//! End-to-end coverage of the telemetry sinks (ISSUE 6 satellite):
+//!
+//! - every line the JSONL sink emits parses as schema-valid JSON;
+//! - span open/close events balance per thread (at most the harness
+//!   root span may stay open — `finish()` flushes sinks before the
+//!   process exits);
+//! - the Chrome trace is valid JSON with one named job-slice track per
+//!   pool worker, and the worker→track-id mapping is stable across runs;
+//! - the data rows a harness would write to CSV are byte-identical with
+//!   `ALMOST_TRACE` set vs unset (telemetry is provably inert);
+//! - the end-of-run aggregator writes a parseable `BENCH_*.json`.
+//!
+//! One `#[test]` only: the test mutates the process-global `ALMOST_JOBS`
+//! and `ALMOST_TRACE` variables and the global telemetry registry, so
+//! nothing may run concurrently with it.
+
+use almost_repro::aig::Aig;
+use almost_repro::almost::{Recipe, SaConfig, Score, SearchEngine, SearchObjective};
+use almost_repro::circuits::IscasBenchmark;
+use almost_repro::ml::gin::{GinClassifier, Graph};
+use almost_repro::ml::tensor::Matrix;
+use almost_repro::ml::train::{train, TrainConfig};
+use almost_repro::telemetry;
+use almost_repro::telemetry::json::{parse, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+struct StructuralObjective;
+
+impl SearchObjective for StructuralObjective {
+    fn score_batch(&self, candidates: &[Arc<Aig>]) -> Vec<Score> {
+        candidates
+            .iter()
+            .map(|aig| Score::plain(aig.num_ands() as f64 + 0.25 * aig.depth() as f64))
+            .collect()
+    }
+}
+
+fn tiny_dataset() -> Vec<Graph> {
+    let mut state = 0x51AEu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..16)
+        .map(|_| {
+            let nodes = 6 + (next() % 8) as usize;
+            let label = next() % 2 == 0;
+            let mut f = Matrix::zeros(nodes, 5);
+            for r in 0..nodes {
+                f.set(r, (next() % 5) as usize, 1.0);
+                if label {
+                    f.set(r, 0, 1.0);
+                }
+            }
+            let edges: Vec<(usize, usize)> = (1..nodes).map(|v| (v / 2, v)).collect();
+            Graph::from_edges(nodes, &edges, f, label)
+        })
+        .collect()
+}
+
+/// The "harness body": a pool batch, a search-engine anneal and a GIN
+/// training run — the three instrumented layers a real harness drives.
+/// Returns the deterministic data rows a harness would write to CSV.
+fn harness_body() -> Vec<String> {
+    let mut rows = Vec::new();
+
+    // Pool batch (jobs sleep so both workers reliably participate).
+    let squares = almost_repro::pool::map_indexed((0..8u64).collect(), |_, x| {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        x * x
+    });
+    for (i, s) in squares.iter().enumerate() {
+        rows.push(format!("pool,{i},{s}"));
+    }
+
+    // Batched SA search over a cheap structural objective.
+    let objective = StructuralObjective;
+    let mut engine = SearchEngine::new(IscasBenchmark::C432.build(), &objective);
+    let run = engine.anneal(
+        Recipe::resyn2(),
+        &SaConfig {
+            iterations: 3,
+            proposals: 2,
+            seed: 0x5E,
+            ..SaConfig::default()
+        },
+    );
+    for (i, it) in run.trace.iterations.iter().enumerate() {
+        rows.push(format!(
+            "search,{i},{},{:.6},{}",
+            it.recipe, it.objective, it.accepted
+        ));
+    }
+
+    // GIN training (2 epochs at a tiny profile).
+    let stats = train(
+        &mut GinClassifier::new(5, 8, 2, 2),
+        &tiny_dataset(),
+        &TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            learning_rate: 5e-3,
+            seed: 7,
+        },
+    );
+    for (e, loss) in stats.epoch_losses.iter().enumerate() {
+        rows.push(format!("train,{e},{loss:.6}"));
+    }
+    rows
+}
+
+/// Validates one JSONL event log; returns the set of pool workers seen.
+fn check_jsonl(path: &Path) -> BTreeSet<u64> {
+    let text = std::fs::read_to_string(path).expect("jsonl written");
+    assert!(!text.is_empty(), "trace log has events");
+    let mut span_stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut workers = BTreeSet::new();
+    let mut kinds = BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let v = parse(line).unwrap_or_else(|e| panic!("line {}: {e}\n{line}", i + 1));
+        let thread = v.get("thread").and_then(Value::as_u64).expect("thread");
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .expect("kind")
+            .to_string();
+        assert!(
+            v.get("t_us").and_then(Value::as_u64).is_some(),
+            "t_us: {line}"
+        );
+        match kind.as_str() {
+            "span_open" => {
+                let name = v.get("name").and_then(Value::as_str).expect("name");
+                span_stacks
+                    .entry(thread)
+                    .or_default()
+                    .push(name.to_string());
+            }
+            "span_close" => {
+                let name = v.get("name").and_then(Value::as_str).expect("name");
+                let popped = span_stacks.entry(thread).or_default().pop();
+                assert_eq!(popped.as_deref(), Some(name), "LIFO span close: {line}");
+            }
+            "pool_job" => {
+                workers.insert(v.get("worker").and_then(Value::as_u64).expect("worker"));
+            }
+            _ => {}
+        }
+        kinds.insert(kind);
+    }
+    for (thread, stack) in &span_stacks {
+        assert!(
+            stack.len() <= 1,
+            "thread {thread} ends with unclosed spans: {stack:?}"
+        );
+    }
+    for expected in [
+        "span_open",
+        "span_close",
+        "pool_job",
+        "pool_batch",
+        "search_step",
+        "train_epoch",
+    ] {
+        assert!(kinds.contains(expected), "no {expected} event in the log");
+    }
+    workers
+}
+
+/// Validates the Chrome trace; returns the pool-worker track ids (both
+/// named and carrying job slices).
+fn check_chrome(path: &Path) -> BTreeSet<u64> {
+    let text = std::fs::read_to_string(path).expect("chrome trace written");
+    let v = parse(&text).expect("chrome trace is valid JSON");
+    let events = v.as_arr().expect("top-level array");
+    let mut named: BTreeSet<u64> = BTreeSet::new();
+    let mut sliced: BTreeSet<u64> = BTreeSet::new();
+    for e in events {
+        let ph = e.get("ph").and_then(Value::as_str).expect("ph");
+        let tid = e.get("tid").and_then(Value::as_u64).expect("tid");
+        if ph == "M" && tid >= 1000 {
+            let name = e
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str)
+                .expect("thread_name args");
+            assert_eq!(name, format!("pool-worker-{}", tid - 1000));
+            named.insert(tid);
+        }
+        if ph == "X" && e.get("cat").and_then(Value::as_str) == Some("pool") {
+            sliced.insert(tid);
+        }
+    }
+    assert_eq!(named, sliced, "every worker track is named and has slices");
+    named
+}
+
+#[test]
+fn sinks_are_schema_valid_and_inert() {
+    std::env::set_var("ALMOST_JOBS", "2");
+    std::env::remove_var("ALMOST_TRACE");
+    let dir = std::env::temp_dir().join(format!("almost_telemetry_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+
+    // Reference run: telemetry fully disabled.
+    let baseline = harness_body();
+
+    // Two traced runs, each with its own trace path.
+    let mut worker_tracks: Vec<BTreeSet<u64>> = Vec::new();
+    let mut traced_rows: Vec<Vec<String>> = Vec::new();
+    for run in 0..2 {
+        let jsonl: PathBuf = dir.join(format!("run{run}.jsonl"));
+        std::env::set_var("ALMOST_TRACE", &jsonl);
+        telemetry::init_harness("telemetry_sinks_it", Some(&dir));
+        traced_rows.push(harness_body());
+        let report = telemetry::finish().expect("summary report");
+        std::env::remove_var("ALMOST_TRACE");
+
+        assert!(report.pool_jobs > 0, "pool jobs aggregated");
+        assert!(report.train_epochs == 2, "train epochs aggregated");
+        assert!(report.search_steps == 3, "search steps aggregated");
+
+        let workers = check_jsonl(&jsonl);
+        assert_eq!(
+            workers,
+            BTreeSet::from([0, 1]),
+            "both ALMOST_JOBS=2 workers executed jobs"
+        );
+        let tracks = check_chrome(&jsonl.with_extension("trace.json"));
+        assert_eq!(
+            tracks,
+            workers.iter().map(|w| 1000 + w).collect::<BTreeSet<u64>>(),
+            "one Chrome track per pool worker at tid = 1000 + worker"
+        );
+        worker_tracks.push(tracks);
+    }
+    assert_eq!(
+        worker_tracks[0], worker_tracks[1],
+        "worker-track ids are stable across runs"
+    );
+
+    // Inertness: the data rows are byte-identical traced or not.
+    for (run, rows) in traced_rows.iter().enumerate() {
+        assert_eq!(
+            rows, &baseline,
+            "run {run}: CSV rows differ under ALMOST_TRACE"
+        );
+    }
+
+    // The aggregator's BENCH json parses and carries the pool totals.
+    let bench_json =
+        std::fs::read_to_string(dir.join("BENCH_telemetry_sinks_it.json")).expect("BENCH json");
+    let v = parse(&bench_json).expect("BENCH json parses");
+    assert_eq!(
+        v.get("name").and_then(Value::as_str),
+        Some("telemetry_sinks_it")
+    );
+    assert!(
+        v.get("pool")
+            .and_then(|p| p.get("jobs"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+            > 0
+    );
+
+    std::env::remove_var("ALMOST_JOBS");
+    let _ = std::fs::remove_dir_all(&dir);
+}

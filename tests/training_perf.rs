@@ -84,8 +84,7 @@ fn hot_loop_is_allocation_free_and_op_linear() {
 
 #[test]
 fn epoch_wall_time_stays_inside_the_envelope() {
-    if cfg!(debug_assertions) {
-        eprintln!("skipping training wall-time envelope (release-mode test; run with --release)");
+    if !almost_repro::testutil::release_mode("training wall-time envelope") {
         return;
     }
     let data = omla_profile_dataset();
