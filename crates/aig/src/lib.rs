@@ -5,7 +5,9 @@
 //! ABC synthesis system that the ALMOST paper relies on:
 //!
 //! - an append-only, structurally hashed [`Aig`] data structure ([`aig`]),
-//! - 64-bit parallel random simulation ([`sim`]),
+//! - 64-bit parallel random simulation ([`sim`]), and a batch compiler
+//!   lowering the output cone to a flat instruction buffer for
+//!   oracle-grade throughput ([`compile`]),
 //! - truth tables up to 16 variables with NPN canonisation ([`truth`],
 //!   [`npn`]),
 //! - k-feasible cut enumeration ([`cut`]),
@@ -40,6 +42,7 @@
 
 pub mod aig;
 pub mod aiger;
+pub mod compile;
 pub mod cut;
 pub mod isop;
 pub mod mffc;
@@ -49,5 +52,6 @@ pub mod sim;
 pub mod truth;
 
 pub use crate::aig::{Aig, Lit, NodeKind, Var};
+pub use crate::compile::{CompileError, CompileStats, CompiledAig};
 pub use crate::passes::{Pass, Script};
 pub use crate::truth::Tt;

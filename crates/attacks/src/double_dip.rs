@@ -21,7 +21,8 @@ use crate::report::{
     dip_log_consistent, score_oracle_run, AttackTarget, DipIteration, OracleAttackOutcome,
     OracleGuidedAttack,
 };
-use almost_locking::Oracle;
+use almost_aig::CompiledAig;
+use almost_locking::BatchOracle;
 use almost_sat::double_dip::{DoubleDipMiter, TwoDipSearch};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -91,7 +92,7 @@ impl DoubleDip {
         locked: &almost_aig::Aig,
         key_start: usize,
         key_len: usize,
-        oracle: &dyn Oracle,
+        oracle: &dyn BatchOracle,
     ) -> DoubleDipRun {
         let started = Instant::now();
         let _span = almost_telemetry::span(almost_telemetry::Scope::Attack, || {
@@ -138,9 +139,12 @@ impl DoubleDip {
         }
 
         let recovered = miter.settle_key().unwrap_or_else(|| vec![false; key_len]);
+        let key_sensitive_probes =
+            count_key_sensitive_probes(locked, key_start, key_len, &probes, self.config.seed);
         let run = DoubleDipRun {
             recovered,
             two_dip_settled,
+            key_sensitive_probes,
             iterations,
             oracle_queries: oracle.queries_served() - queries_at_start,
             runtime: started.elapsed(),
@@ -155,6 +159,50 @@ impl DoubleDip {
     }
 }
 
+/// Counts probes whose outputs vary across 64 random keys, evaluated in
+/// a single word-level sweep of the compiled locked netlist: each probe
+/// occupies one word column with its data bits broadcast, key inputs
+/// carry a random bit per lane, and a probe is key sensitive when some
+/// output word is neither all-zeros nor all-ones. Falls back to zero if
+/// the netlist cannot be compiled (the diagnostic is best-effort).
+fn count_key_sensitive_probes(
+    locked: &almost_aig::Aig,
+    key_start: usize,
+    key_len: usize,
+    probes: &[Vec<bool>],
+    seed: u64,
+) -> usize {
+    if probes.is_empty() {
+        return 0;
+    }
+    let Ok(code) = CompiledAig::compile(locked) else {
+        return 0;
+    };
+    // A distinct stream from the probe RNG: the probes themselves must
+    // not move when this diagnostic changes its sampling.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_D1D1_2D2D);
+    let num_words = probes.len();
+    let mut words: Vec<Vec<u64>> = Vec::with_capacity(locked.num_inputs());
+    let mut data_pos = 0usize;
+    for pos in 0..locked.num_inputs() {
+        if pos >= key_start && pos < key_start + key_len {
+            words.push(vec![rng.random::<u64>(); num_words]);
+        } else {
+            words.push(
+                probes
+                    .iter()
+                    .map(|p| (p[data_pos] as u64).wrapping_neg())
+                    .collect(),
+            );
+            data_pos += 1;
+        }
+    }
+    let out = code.eval_words(&words, num_words);
+    (0..num_words)
+        .filter(|&w| out.iter().any(|o| o[w] != 0 && o[w] != u64::MAX))
+        .count()
+}
+
 /// Raw result of [`DoubleDip::run`] (unscored; no ground truth needed).
 #[derive(Clone, Debug)]
 pub struct DoubleDipRun {
@@ -164,6 +212,14 @@ pub struct DoubleDipRun {
     /// True when the 2-DIP miter was proved UNSAT: no input remains whose
     /// answer could eliminate two keys, so the base scheme is resolved.
     pub two_dip_settled: bool,
+    /// How many of the structural pair-agreement probes are *key
+    /// sensitive* — their output actually varies across random keys (one
+    /// word-level sweep of the compiled locked netlist, no oracle
+    /// queries). On a pure point-function lock this is ~0 (each probe
+    /// upsets at most a measure-zero key slice); on RLL-style bases it
+    /// approaches the probe count — a cheap diagnostic for which regime
+    /// the attack is in.
+    pub key_sensitive_probes: usize,
     /// Per-iteration 2-DIP log (each entry consumed one oracle query).
     pub iterations: Vec<DipIteration>,
     /// Oracle queries consumed.
@@ -196,7 +252,7 @@ impl OracleGuidedAttack for DoubleDip {
     fn attack_with_oracle(
         &self,
         target: &AttackTarget,
-        oracle: &dyn Oracle,
+        oracle: &dyn BatchOracle,
     ) -> OracleAttackOutcome {
         let run = self.run(
             &target.deployed,
@@ -225,10 +281,9 @@ impl OracleGuidedAttack for DoubleDip {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::locked_oracle;
     use almost_circuits::IscasBenchmark;
-    use almost_locking::{apply_key, CircuitOracle, LockingScheme, Rll, SarLock, Stacked};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use almost_locking::{apply_key, Oracle, Rll, SarLock, Stacked};
 
     #[test]
     fn double_dip_terminates_early_on_plain_rll() {
@@ -239,10 +294,7 @@ mod tests {
         // attack remains the right tool for unprotected RLL. What must
         // hold: termination well under the classic DIP budget, and a
         // reconciled query ledger.
-        let design = IscasBenchmark::C432.build();
-        let mut rng = StdRng::seed_from_u64(61);
-        let locked = Rll::new(8).lock(&design, &mut rng).expect("lockable");
-        let oracle = CircuitOracle::from_locked(&locked);
+        let (locked, oracle) = locked_oracle(&IscasBenchmark::C432.build(), &Rll::new(8), 61);
         let run = DoubleDip::exact().run(
             &locked.aig,
             locked.key_input_start,
@@ -257,16 +309,18 @@ mod tests {
             run.oracle_queries
         );
         assert_eq!(run.recovered.len(), 8);
+        // RLL key gates sit on live signals: random probes see the key.
+        assert!(
+            run.key_sensitive_probes > 0,
+            "RLL probes must show key sensitivity"
+        );
     }
 
     #[test]
     fn sarlock_alone_settles_immediately_with_zero_queries() {
         // Pure SARLock: every input incriminates at most one key, so no
         // 2-DIP ever exists — the defence never extracts a single query.
-        let design = IscasBenchmark::C432.build();
-        let mut rng = StdRng::seed_from_u64(62);
-        let locked = SarLock::new(8).lock(&design, &mut rng).expect("lockable");
-        let oracle = CircuitOracle::from_locked(&locked);
+        let (locked, oracle) = locked_oracle(&IscasBenchmark::C432.build(), &SarLock::new(8), 62);
         let run = DoubleDip::exact().run(
             &locked.aig,
             locked.key_input_start,
@@ -275,16 +329,28 @@ mod tests {
         );
         assert!(run.two_dip_settled);
         assert_eq!(run.oracle_queries, 0);
+        assert_eq!(
+            oracle.queries_served(),
+            0,
+            "the probe diagnostic must not touch the oracle"
+        );
         assert!(run.accounting_consistent());
+        // A pure point function flips only when a key lane matches the
+        // probe's 8-bit prefix: each of the 64 lanes hits with
+        // probability 2^-8, so ~22% of probes register — far below the
+        // near-total sensitivity RLL shows above.
+        assert!(
+            run.key_sensitive_probes <= 6,
+            "SARLock probes mostly key-insensitive (got {} of 12)",
+            run.key_sensitive_probes
+        );
     }
 
     #[test]
     fn strips_sarlock_and_recovers_the_rll_base_key() {
         let design = IscasBenchmark::C432.build();
-        let mut rng = StdRng::seed_from_u64(63);
-        let scheme = Stacked::new(Rll::new(10), SarLock::new(8));
-        let locked = scheme.lock(&design, &mut rng).expect("lockable");
-        let oracle = CircuitOracle::from_locked(&locked);
+        let (locked, oracle) =
+            locked_oracle(&design, &Stacked::new(Rll::new(10), SarLock::new(8)), 63);
         let run = DoubleDip::exact().run(
             &locked.aig,
             locked.key_input_start,

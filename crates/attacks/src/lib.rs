@@ -41,6 +41,7 @@ pub mod sat_attack;
 pub mod scope;
 pub mod snapshot;
 pub mod subgraph;
+pub mod testutil;
 
 pub use double_dip::{DoubleDip, DoubleDipConfig, DoubleDipRun};
 pub use omla::{Omla, OmlaConfig};

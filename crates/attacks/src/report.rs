@@ -1,10 +1,10 @@
 //! Attack targets and outcome reporting, for both threat models:
 //! oracle-less attacks ([`OracleLessAttack`], scored per key bit) and
 //! oracle-guided attacks ([`OracleGuidedAttack`], the SAT-attack family,
-//! which additionally consume an activated-IC [`Oracle`]).
+//! which additionally consume an activated-IC [`BatchOracle`]).
 
 use almost_aig::{Aig, Script};
-use almost_locking::{LockedCircuit, Oracle};
+use almost_locking::{BatchOracle, LockedCircuit};
 
 pub use almost_sat::SolverStats;
 
@@ -259,8 +259,14 @@ pub trait OracleGuidedAttack {
 
     /// Runs the attack against `target` using `oracle` for I/O queries,
     /// and scores the recovered key against the ground truth in `target`.
-    fn attack_with_oracle(&self, target: &AttackTarget, oracle: &dyn Oracle)
-        -> OracleAttackOutcome;
+    /// The oracle comes in through [`BatchOracle`] so attacks can answer
+    /// many validation/probe patterns per call; counters still advance
+    /// one per pattern ([`almost_locking::Oracle::queries_served`]).
+    fn attack_with_oracle(
+        &self,
+        target: &AttackTarget,
+        oracle: &dyn BatchOracle,
+    ) -> OracleAttackOutcome;
 }
 
 /// Renders oracle-less and oracle-guided results as one table, the paper's

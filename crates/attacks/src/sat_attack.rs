@@ -27,7 +27,8 @@ use crate::report::{
     dip_log_consistent, score_oracle_run, AttackTarget, DipIteration, OracleAttackOutcome,
     OracleGuidedAttack,
 };
-use almost_locking::Oracle;
+use almost_aig::CompiledAig;
+use almost_locking::BatchOracle;
 use almost_sat::miter::{DipSearch, KeyMiter};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -122,7 +123,7 @@ impl SatAttack {
         locked: &almost_aig::Aig,
         key_start: usize,
         key_len: usize,
-        oracle: &dyn Oracle,
+        oracle: &dyn BatchOracle,
     ) -> SatAttackRun {
         let started = Instant::now();
         let _span = almost_telemetry::span(almost_telemetry::Scope::Attack, || {
@@ -200,22 +201,28 @@ impl SatAttack {
                         Some(k) => k,
                         None => break, // inconsistent oracle; report as-is
                     };
-                    // Validate with random queries, but cap the number of
+                    // Validate with one batched round of random queries —
+                    // the oracle's batch path answers all of them in a
+                    // handful of word-level sweeps — but cap the number of
                     // counterexamples re-encoded as constraints: each one
                     // adds two circuit residues to the solver, and an
                     // unbounded round can bury it (a half-wrong key fails
                     // ~half of all queries).
+                    let xs: Vec<Vec<bool>> = (0..queries)
+                        .map(|_| {
+                            (0..miter.num_data_inputs())
+                                .map(|_| rng.random::<bool>())
+                                .collect()
+                        })
+                        .collect();
+                    let ys = oracle.query_batch(&xs);
+                    queries_issued += xs.len();
+                    let got = eval_with_key_batch(locked, key_start, &candidate, &xs);
                     let mut mismatches = 0usize;
-                    for _ in 0..queries {
-                        let x: Vec<bool> = (0..miter.num_data_inputs())
-                            .map(|_| rng.random::<bool>())
-                            .collect();
-                        let y = oracle.query(&x);
-                        queries_issued += 1;
-                        let got = eval_with_key(locked, key_start, &candidate, &x);
-                        if got != y {
+                    for ((x, y), g) in xs.iter().zip(&ys).zip(&got) {
+                        if g != y {
                             mismatches += 1;
-                            miter.constrain_io(&x, &y);
+                            miter.constrain_io(x, y);
                             if mismatches >= MAX_SETTLEMENT_CONSTRAINTS {
                                 break;
                             }
@@ -288,6 +295,16 @@ impl SatAttackRun {
     }
 }
 
+/// Splices a candidate key into a functional input pattern at the locked
+/// circuit's key-input offset.
+fn splice_key(key_start: usize, key: &[bool], inputs: &[bool]) -> Vec<bool> {
+    let mut full = Vec::with_capacity(inputs.len() + key.len());
+    full.extend_from_slice(&inputs[..key_start]);
+    full.extend_from_slice(key);
+    full.extend_from_slice(&inputs[key_start..]);
+    full
+}
+
 /// Evaluates the locked circuit under a candidate key on one input pattern.
 fn eval_with_key(
     locked: &almost_aig::Aig,
@@ -295,11 +312,31 @@ fn eval_with_key(
     key: &[bool],
     inputs: &[bool],
 ) -> Vec<bool> {
-    let mut full = Vec::with_capacity(inputs.len() + key.len());
-    full.extend_from_slice(&inputs[..key_start]);
-    full.extend_from_slice(key);
-    full.extend_from_slice(&inputs[key_start..]);
-    locked.eval(&full)
+    locked.eval(&splice_key(key_start, key, inputs))
+}
+
+/// Batch form of [`eval_with_key`]: compiles the locked netlist once and
+/// evaluates every spliced pattern through the word-level backend
+/// (interpreting instead if the netlist is too large to compile).
+fn eval_with_key_batch(
+    locked: &almost_aig::Aig,
+    key_start: usize,
+    key: &[bool],
+    inputs: &[Vec<bool>],
+) -> Vec<Vec<bool>> {
+    match CompiledAig::compile(locked) {
+        Ok(code) => {
+            let full: Vec<Vec<bool>> = inputs
+                .iter()
+                .map(|x| splice_key(key_start, key, x))
+                .collect();
+            code.eval_batch(&full)
+        }
+        Err(_) => inputs
+            .iter()
+            .map(|x| eval_with_key(locked, key_start, key, x))
+            .collect(),
+    }
 }
 
 impl OracleGuidedAttack for SatAttack {
@@ -313,7 +350,7 @@ impl OracleGuidedAttack for SatAttack {
     fn attack_with_oracle(
         &self,
         target: &AttackTarget,
-        oracle: &dyn Oracle,
+        oracle: &dyn BatchOracle,
     ) -> OracleAttackOutcome {
         let locked = &target.deployed;
         let key_start = target.locked.key_input_start;
@@ -336,25 +373,15 @@ impl OracleGuidedAttack for SatAttack {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::{locked_oracle, locked_target};
     use almost_aig::Script;
     use almost_circuits::IscasBenchmark;
-    use almost_locking::{CircuitOracle, LockingScheme, Rll};
+    use almost_locking::{Oracle, Rll};
     use almost_sat::{check_equivalence, Equivalence};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    fn locked_c432(key_size: usize, seed: u64) -> almost_locking::LockedCircuit {
-        let design = IscasBenchmark::C432.build();
-        let mut rng = StdRng::seed_from_u64(seed);
-        Rll::new(key_size)
-            .lock(&design, &mut rng)
-            .expect("lockable")
-    }
 
     #[test]
     fn exact_attack_recovers_a_functionally_correct_key() {
-        let locked = locked_c432(12, 1);
-        let oracle = CircuitOracle::from_locked(&locked);
+        let (locked, oracle) = locked_oracle(&IscasBenchmark::C432.build(), &Rll::new(12), 1);
         let run = SatAttack::exact().run(
             &locked.aig,
             locked.key_input_start,
@@ -374,9 +401,12 @@ mod tests {
 
     #[test]
     fn attack_works_through_the_trait_and_synthesis() {
-        let locked = locked_c432(10, 2);
-        let target = AttackTarget::new(locked, Script::resyn2());
-        let oracle = CircuitOracle::from_locked(&target.locked);
+        let (target, oracle) = locked_target(
+            &IscasBenchmark::C432.build(),
+            &Rll::new(10),
+            Script::resyn2(),
+            2,
+        );
         let outcome = SatAttack::exact().attack_with_oracle(&target, &oracle);
         assert!(outcome.proved_exact);
         assert!(
@@ -388,9 +418,12 @@ mod tests {
 
     #[test]
     fn approximate_mode_reports_per_iteration_dip_counts() {
-        let locked = locked_c432(12, 3);
-        let target = AttackTarget::new(locked, Script::resyn2());
-        let oracle = CircuitOracle::from_locked(&target.locked);
+        let (target, oracle) = locked_target(
+            &IscasBenchmark::C432.build(),
+            &Rll::new(12),
+            Script::resyn2(),
+            3,
+        );
         let attack = SatAttack::new(SatAttackConfig::approximate(3, 50));
         let outcome = attack.attack_with_oracle(&target, &oracle);
         assert_eq!(outcome.attack, "AppSAT");
@@ -413,8 +446,7 @@ mod tests {
 
     #[test]
     fn iteration_accounting_reconciles_in_exact_mode() {
-        let locked = locked_c432(10, 5);
-        let oracle = CircuitOracle::from_locked(&locked);
+        let (locked, oracle) = locked_oracle(&IscasBenchmark::C432.build(), &Rll::new(10), 5);
         let run = SatAttack::exact().run(
             &locked.aig,
             locked.key_input_start,
@@ -435,8 +467,7 @@ mod tests {
 
     #[test]
     fn iteration_accounting_reconciles_in_approximate_mode() {
-        let locked = locked_c432(12, 6);
-        let oracle = CircuitOracle::from_locked(&locked);
+        let (locked, oracle) = locked_oracle(&IscasBenchmark::C432.build(), &Rll::new(12), 6);
         let attack = SatAttack::new(SatAttackConfig::approximate(3, 50));
         let run = attack.run(
             &locked.aig,
@@ -465,7 +496,7 @@ mod tests {
 
     #[test]
     fn eval_with_key_splices_at_the_key_offset() {
-        let locked = locked_c432(4, 4);
+        let locked = crate::testutil::lock_with(&IscasBenchmark::C432.build(), &Rll::new(4), 4);
         let inputs = vec![true; locked.aig.num_inputs() - 4];
         let full = eval_with_key(
             &locked.aig,

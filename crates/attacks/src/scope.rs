@@ -11,8 +11,10 @@
 //! 50%).
 
 use crate::report::{AttackOutcome, AttackTarget, OracleLessAttack};
-use almost_aig::{Aig, Pass, Script};
+use almost_aig::{Aig, CompiledAig, Pass, Script};
 use almost_locking::apply_key;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 /// SCOPE configuration.
 #[derive(Clone, Debug)]
@@ -87,10 +89,18 @@ impl Scope {
     /// Decides one key bit from the two hypothesis syntheses; `None` when
     /// the reports are symmetric (unresolved).
     pub fn decide_bit(&self, deployed: &Aig, key_start: usize, bit_offset: usize) -> Option<bool> {
+        let spec0 = specialise_single(deployed, key_start + bit_offset, false);
+        let spec1 = specialise_single(deployed, key_start + bit_offset, true);
+        // Dead-bit prefilter: when the two specialisations are (almost
+        // surely) the same function, the bit cannot be decided — skip both
+        // synthesis runs. A functionally dead bit previously produced
+        // identical reports and tied to None; this short-circuits that.
+        if compiled_probably_equal(&spec0, &spec1, DEAD_BIT_WORDS, DEAD_BIT_SEED) {
+            return None;
+        }
         let mut complexities = [0.0f64; 2];
-        for (i, value) in [false, true].into_iter().enumerate() {
-            let specialised = specialise_single(deployed, key_start + bit_offset, value);
-            let synthesised = self.config.script.apply(&specialised);
+        for (i, specialised) in [spec0, spec1].iter().enumerate() {
+            let synthesised = self.config.script.apply(specialised);
             complexities[i] = ReportFeatures::of(&synthesised).complexity();
         }
         // The *correct* constant makes the key gate collapse into a plain
@@ -112,6 +122,28 @@ impl Scope {
 fn specialise_single(aig: &Aig, input_pos: usize, value: bool) -> Aig {
     // apply_key with a 1-bit "key" at the given position.
     apply_key(aig, input_pos, &[value])
+}
+
+/// Words of random stimulus for the dead-bit prefilter (1024 patterns).
+const DEAD_BIT_WORDS: usize = 16;
+/// Stimulus seed for the dead-bit prefilter.
+const DEAD_BIT_SEED: u64 = 0x5C09E;
+
+/// One compiled word-level sweep over shared random stimulus to check
+/// whether two same-interface netlists (probably) compute the same
+/// function. Falls back to the interpreted equivalence check when either
+/// netlist refuses to compile.
+fn compiled_probably_equal(a: &Aig, b: &Aig, num_words: usize, seed: u64) -> bool {
+    debug_assert_eq!(a.num_inputs(), b.num_inputs());
+    debug_assert_eq!(a.num_outputs(), b.num_outputs());
+    let (Ok(code_a), Ok(code_b)) = (CompiledAig::compile(a), CompiledAig::compile(b)) else {
+        return almost_aig::sim::probably_equivalent(a, b, num_words, seed);
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let words: Vec<Vec<u64>> = (0..a.num_inputs())
+        .map(|_| (0..num_words).map(|_| rng.random()).collect())
+        .collect();
+    code_a.eval_words(&words, num_words) == code_b.eval_words(&words, num_words)
 }
 
 impl OracleLessAttack for Scope {
@@ -156,6 +188,42 @@ mod tests {
         let outcome = Scope::default().attack(&target);
         assert_eq!(outcome.predicted.len(), 8);
         assert!((0.0..=1.0).contains(&outcome.accuracy));
+    }
+
+    #[test]
+    fn dead_key_bit_stays_unresolved_without_synthesis() {
+        // An input that feeds nothing: both specialisations are the same
+        // function, so the compiled prefilter must return None.
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let _dead = aig.add_input();
+        let f = aig.and(a, b);
+        aig.add_output(f);
+        let scope = Scope::default();
+        assert_eq!(scope.decide_bit(&aig, 2, 0), None);
+        assert!(compiled_probably_equal(
+            &specialise_single(&aig, 2, false),
+            &specialise_single(&aig, 2, true),
+            4,
+            1
+        ));
+    }
+
+    #[test]
+    fn live_bits_are_not_prefiltered_away() {
+        // XOR key gate: the two specialisations differ on every pattern.
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let k = aig.add_input();
+        let f = aig.xor(a, k);
+        aig.add_output(f);
+        assert!(!compiled_probably_equal(
+            &specialise_single(&aig, 1, false),
+            &specialise_single(&aig, 1, true),
+            4,
+            1
+        ));
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Shared attack-test preludes.
+//!
+//! Every oracle-guided test used to open with the same copy-pasted
+//! ritual: seed an RNG, lock a benchmark, build the activated-chip
+//! oracle (and sometimes wrap the lock in an [`AttackTarget`]). These
+//! constructors are that ritual, written once — used by this crate's
+//! unit tests and by the repo-level differential suite
+//! (`tests/oracle_parity.rs`), so every harness exercises the exact same
+//! setup path.
+
+use crate::report::AttackTarget;
+use almost_aig::{Aig, Script};
+use almost_locking::{CircuitOracle, LockedCircuit, LockingScheme};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Locks `design` with `scheme` under a deterministic seed.
+///
+/// # Panics
+///
+/// Panics when the scheme rejects the circuit (too few gates for the
+/// configured key size) — test circuits are chosen to fit.
+pub fn lock_with(design: &Aig, scheme: &dyn LockingScheme, seed: u64) -> LockedCircuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    scheme
+        .lock(design, &mut rng)
+        .unwrap_or_else(|e| panic!("{} must lock the test circuit: {e}", scheme.name()))
+}
+
+/// The standard oracle-guided prelude: lock `design`, then build the
+/// activated-chip oracle from the locked circuit's correct key.
+pub fn locked_oracle(
+    design: &Aig,
+    scheme: &dyn LockingScheme,
+    seed: u64,
+) -> (LockedCircuit, CircuitOracle) {
+    let locked = lock_with(design, scheme, seed);
+    let oracle = CircuitOracle::from_locked(&locked);
+    (locked, oracle)
+}
+
+/// The trait-level prelude: lock, wrap in an [`AttackTarget`] deployed
+/// with `recipe`, and build the oracle.
+pub fn locked_target(
+    design: &Aig,
+    scheme: &dyn LockingScheme,
+    recipe: Script,
+    seed: u64,
+) -> (AttackTarget, CircuitOracle) {
+    let locked = lock_with(design, scheme, seed);
+    let oracle = CircuitOracle::from_locked(&locked);
+    (AttackTarget::new(locked, recipe), oracle)
+}

@@ -19,8 +19,11 @@
 //!   additional key gates with *known* bits to manufacture training data).
 //! - [`apply_key`]: specialise a locked circuit under a key (the oracle
 //!   check used to validate locking correctness).
-//! - [`Oracle`] / [`CircuitOracle`]: the activated-IC black box of the
-//!   oracle-guided threat model (SAT attacks query it for correct outputs).
+//! - [`Oracle`] / [`BatchOracle`] / [`CircuitOracle`]: the activated-IC
+//!   black box of the oracle-guided threat model (SAT attacks query it for
+//!   correct outputs), served by a compiled instruction-buffer backend
+//!   ([`CompiledOracle`]) differential-tested against the node-walk
+//!   reference ([`InterpretedOracle`]).
 //!
 //! # Example
 //!
@@ -51,7 +54,7 @@ pub mod stacked;
 pub use anti_sat::AntiSat;
 pub use key::Key;
 pub use mux_lock::MuxLock;
-pub use oracle::{CircuitOracle, Oracle};
+pub use oracle::{BatchOracle, CircuitOracle, CompiledOracle, InterpretedOracle, Oracle};
 pub use rll::Rll;
 pub use sar_lock::SarLock;
 pub use scheme::{relock, LockError, LockedCircuit, LockingScheme};

@@ -1,0 +1,92 @@
+//! The compiled batch backend.
+
+use super::{compile_for_oracle, BatchOracle, Oracle};
+use crate::scheme::LockedCircuit;
+use crate::specialize::apply_key;
+use almost_aig::compile::CompiledAig;
+use almost_aig::{Aig, CompileError, CompileStats};
+use std::cell::{Cell, RefCell};
+
+/// An [`Oracle`] serving queries from a
+/// [`CompiledAig`] instruction buffer: the
+/// netlist is lowered once at construction, then batches run 64 patterns
+/// per `u64` word with no per-query allocation or node-graph traversal.
+///
+/// Most callers want [`super::CircuitOracle`], which wraps this backend
+/// and degrades to the interpreter on compile failure; use
+/// `CompiledOracle` directly when a silent fallback would mask the error
+/// (differential tests, throughput harnesses).
+pub struct CompiledOracle {
+    design: Aig,
+    code: CompiledAig,
+    scratch: RefCell<Vec<u64>>,
+    queries: Cell<usize>,
+}
+
+impl CompiledOracle {
+    /// Compiles `design` into a batch oracle.
+    pub fn new(design: Aig) -> Result<Self, CompileError> {
+        let code = compile_for_oracle(&design)?;
+        let scratch = RefCell::new(code.make_scratch());
+        Ok(CompiledOracle {
+            design,
+            code,
+            scratch,
+            queries: Cell::new(0),
+        })
+    }
+
+    /// Compiles the activated function of a locked circuit.
+    pub fn from_locked(locked: &LockedCircuit) -> Result<Self, CompileError> {
+        Self::new(apply_key(
+            &locked.aig,
+            locked.key_input_start,
+            locked.key.bits(),
+        ))
+    }
+
+    /// The underlying design.
+    pub fn design(&self) -> &Aig {
+        &self.design
+    }
+
+    /// What the compiler did (instruction count, dead nodes skipped…).
+    pub fn compile_stats(&self) -> CompileStats {
+        self.code.stats()
+    }
+
+    fn count(&self, n: usize) {
+        self.queries.set(self.queries.get() + n);
+    }
+}
+
+impl Oracle for CompiledOracle {
+    fn num_inputs(&self) -> usize {
+        self.design.num_inputs()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.design.num_outputs()
+    }
+
+    fn query(&self, pattern: &[bool]) -> Vec<bool> {
+        self.count(1);
+        self.code.eval_into(pattern, &mut self.scratch.borrow_mut())
+    }
+
+    fn queries_served(&self) -> usize {
+        self.queries.get()
+    }
+}
+
+impl BatchOracle for CompiledOracle {
+    fn query_batch(&self, patterns: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        self.count(patterns.len());
+        self.code.eval_batch(patterns)
+    }
+
+    fn query_words(&self, input_words: &[Vec<u64>], num_words: usize) -> Vec<Vec<u64>> {
+        self.count(num_words * 64);
+        self.code.eval_words(input_words, num_words)
+    }
+}

@@ -65,6 +65,7 @@ const KINDS: &[&str] = &[
     "budget_exhausted",
     "search_step",
     "train_epoch",
+    "oracle_compile",
     "cell_done",
     "message",
 ];
@@ -152,6 +153,17 @@ fn check_jsonl(text: &str) -> Result<BTreeSet<u64>, String> {
                 v.get("loss")
                     .and_then(Value::as_f64)
                     .ok_or(format!("line {n}: missing loss"))?;
+            }
+            "oracle_compile" => {
+                for f in [
+                    "ands",
+                    "instructions",
+                    "registers",
+                    "dead_skipped",
+                    "wall_us",
+                ] {
+                    req_u64(&v, f, n)?;
+                }
             }
             "cell_done" => {
                 req_str(&v, "label", n)?;

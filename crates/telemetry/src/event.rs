@@ -171,6 +171,19 @@ pub enum EventKind {
         /// Fresh tape buffers allocated this epoch (delta; 0 after warm-up).
         tape_allocs: u64,
     },
+    /// An oracle netlist was compiled to the batch instruction buffer.
+    OracleCompile {
+        /// AND nodes in the source netlist.
+        ands: u64,
+        /// Instructions emitted (the output-reachable cone).
+        instructions: u64,
+        /// Register-file size of the compiled program.
+        registers: u64,
+        /// Dead AND nodes skipped by the compiler.
+        dead_skipped: u64,
+        /// Compile wall time in microseconds.
+        wall_us: u64,
+    },
     /// A harness cell finished (the streamed liveness marker).
     CellDone {
         /// Cell label, e.g. `"c1908 k=32"`.
@@ -345,6 +358,19 @@ impl Event {
                     fmt_f64(*loss)
                 );
             }
+            EventKind::OracleCompile {
+                ands,
+                instructions,
+                registers,
+                dead_skipped,
+                wall_us,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"kind\":\"oracle_compile\",\"ands\":{ands},\"instructions\":{instructions},\
+                     \"registers\":{registers},\"dead_skipped\":{dead_skipped},\"wall_us\":{wall_us}"
+                );
+            }
             EventKind::CellDone { label } => {
                 let _ = write!(s, "\"kind\":\"cell_done\",\"label\":\"{}\"", escape(label));
             }
@@ -437,6 +463,13 @@ mod tests {
                 wall_us: 100,
                 tape_ops: 10,
                 tape_allocs: 0,
+            },
+            EventKind::OracleCompile {
+                ands: 640,
+                instructions: 600,
+                registers: 642,
+                dead_skipped: 40,
+                wall_us: 85,
             },
             EventKind::CellDone {
                 label: "c432 k=8".into(),

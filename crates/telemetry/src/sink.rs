@@ -256,6 +256,20 @@ impl Sink for ChromeTraceSink {
                     t.saturating_sub(*wall_us)
                 ));
             }
+            EventKind::OracleCompile {
+                ands,
+                instructions,
+                registers,
+                dead_skipped,
+                wall_us,
+            } => {
+                self.push(format!(
+                    "{{\"name\":\"oracle compile\",\"cat\":\"oracle\",\"ph\":\"i\",\"ts\":{t},\
+                     \"s\":\"t\",\"pid\":1,\"tid\":{tid},\"args\":{{\"ands\":{ands},\
+                     \"instructions\":{instructions},\"registers\":{registers},\
+                     \"dead_skipped\":{dead_skipped},\"wall_us\":{wall_us}}}}}"
+                ));
+            }
             EventKind::CellDone { label } => {
                 self.push(format!(
                     "{{\"name\":\"cell done: {}\",\"cat\":\"cell\",\"ph\":\"i\",\"ts\":{t},\

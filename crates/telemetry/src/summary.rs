@@ -220,8 +220,12 @@ impl super::sink::Sink for SummarySink {
                 r.tape_allocs += tape_allocs;
             }
             EventKind::CellDone { .. } => r.cells += 1,
+            // Oracle compiles are one-shot setup costs; the throughput
+            // story lives in the oracle_throughput harness, not the
+            // (schema-pinned) summary report.
             EventKind::SpanOpen { .. }
             | EventKind::SpanClose { .. }
+            | EventKind::OracleCompile { .. }
             | EventKind::Message { .. } => {}
         }
     }
