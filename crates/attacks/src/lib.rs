@@ -49,7 +49,7 @@ pub use redundancy::{Redundancy, RedundancyConfig};
 pub use report::{
     dip_log_consistent, render_dip_scaling, render_report, AttackOutcome, AttackTarget,
     DipIteration, DipScalingRow, OracleAttackOutcome, OracleGuidedAttack, OracleLessAttack,
-    SolverStats,
+    PortfolioStats, SolverStats,
 };
 pub use sat_attack::{SatAttack, SatAttackConfig, SatAttackMode, SatAttackRun};
 pub use scope::{Scope, ScopeConfig};

@@ -6,7 +6,7 @@
 use almost_aig::{Aig, Script};
 use almost_locking::{BatchOracle, LockedCircuit};
 
-pub use almost_sat::SolverStats;
+pub use almost_sat::{PortfolioStats, SolverStats};
 
 /// Everything an oracle-less attacker sees: the deployed (synthesised)
 /// locked netlist and — per the paper's threat model — the defender's

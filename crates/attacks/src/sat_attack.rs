@@ -257,6 +257,7 @@ impl SatAttack {
             oracle_queries: oracle.queries_served() - queries_at_start,
             runtime: started.elapsed(),
             solver: miter.solver_stats(),
+            portfolio: miter.portfolio_stats(),
         };
         debug_assert_eq!(
             queries_issued, run.oracle_queries,
@@ -282,6 +283,10 @@ pub struct SatAttackRun {
     pub runtime: std::time::Duration,
     /// Cumulative solver-effort counters of the attack's miter.
     pub solver: almost_sat::SolverStats,
+    /// Portfolio racing counters (width 1 ⇒ zero races: the pinned
+    /// serial reference ran). Telemetry-only — the CSV schema is
+    /// unchanged so deterministic runs stay byte-identical.
+    pub portfolio: almost_sat::PortfolioStats,
 }
 
 impl SatAttackRun {

@@ -20,6 +20,7 @@
 use almost_telemetry as telemetry;
 use std::cell::Cell;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 
 std::thread_local! {
@@ -174,6 +175,90 @@ where
         .collect()
 }
 
+/// Outcome of a [`race`]: which runner finished first, what it returned,
+/// and how long the losers took to park after the stop flag went up.
+#[derive(Debug)]
+pub struct RaceOutcome<R> {
+    /// Index of the runner whose answer was taken.
+    pub winner: usize,
+    /// The winning runner's result.
+    pub result: R,
+    /// Microseconds from the winner publishing its answer to every other
+    /// runner having returned (the cancellation latency the CI envelope
+    /// test pins).
+    pub cancel_us: u64,
+}
+
+/// Races `runners` against each other on scoped threads; the first runner
+/// to return `Some` wins, trips the shared [`AtomicBool`] stop flag, and
+/// everyone else is expected to notice the flag and bail out with `None`.
+///
+/// Each runner receives the stop flag and must treat a raised flag as a
+/// budget-style early return — give back `None`, never a guessed verdict.
+/// A runner that exhausts its own budget also returns `None` *without*
+/// touching the flag, so `None` from every runner means "no one finished"
+/// (the caller's budget-exhausted case) and yields `None` overall.
+///
+/// With a single runner no thread is spawned: the runner executes on the
+/// calling thread with a flag nothing will ever raise. That serial path is
+/// the pinned reference execution (`cancel_us` is 0 by definition).
+pub fn race<R, F>(runners: Vec<F>) -> Option<RaceOutcome<R>>
+where
+    R: Send,
+    F: FnOnce(&AtomicBool) -> Option<R> + Send,
+{
+    let stop = AtomicBool::new(false);
+    if runners.len() <= 1 {
+        let result = runners.into_iter().next()?(&stop)?;
+        return Some(RaceOutcome {
+            winner: 0,
+            result,
+            cancel_us: 0,
+        });
+    }
+    let n = runners.len();
+    // usize::MAX = "no winner yet"; the first successful CAS claims it.
+    let winner = AtomicUsize::new(usize::MAX);
+    let win_at_us = AtomicU64::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for (i, runner) in runners.into_iter().enumerate() {
+            let (stop, winner, win_at_us, slots) = (&stop, &winner, &win_at_us, &slots);
+            scope.spawn(move || {
+                if let Some(result) = runner(stop) {
+                    if winner
+                        .compare_exchange(usize::MAX, i, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        win_at_us.store(telemetry::clock::now_us(), Ordering::Release);
+                        *slots[i].lock().expect("race slot lock") = Some(result);
+                        stop.store(true, Ordering::Release);
+                    }
+                    // A runner that finished second keeps its answer to
+                    // itself: by construction it agrees with the winner's
+                    // verdict, and dropping it keeps the outcome single-
+                    // sourced.
+                }
+            });
+        }
+    });
+    let w = winner.load(Ordering::Acquire);
+    if w == usize::MAX {
+        return None;
+    }
+    let parked_us = telemetry::clock::now_us();
+    let result = slots[w]
+        .lock()
+        .expect("race slot lock")
+        .take()
+        .expect("winner stored its result before raising the flag");
+    Some(RaceOutcome {
+        winner: w,
+        result,
+        cancel_us: parked_us.saturating_sub(win_at_us.load(Ordering::Acquire)),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +294,40 @@ mod tests {
     #[test]
     fn num_workers_is_at_least_one() {
         assert!(num_workers() >= 1);
+    }
+
+    #[test]
+    fn race_single_runner_is_the_serial_reference() {
+        let out = race(vec![|_stop: &AtomicBool| Some(42u32)]).expect("runner finished");
+        assert_eq!(out.winner, 0);
+        assert_eq!(out.result, 42);
+        assert_eq!(out.cancel_us, 0);
+    }
+
+    #[test]
+    fn race_first_finisher_cancels_the_rest() {
+        // Runner 1 answers immediately; runner 0 spins until the flag is
+        // raised and then bails with None, as a real solver would.
+        type Runner = Box<dyn FnOnce(&AtomicBool) -> Option<u32> + Send>;
+        let runners: Vec<Runner> = vec![
+            Box::new(|stop: &AtomicBool| {
+                while !stop.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                None
+            }),
+            Box::new(|_stop: &AtomicBool| Some(7)),
+        ];
+        let out = race(runners).expect("someone finished");
+        assert_eq!(out.winner, 1);
+        assert_eq!(out.result, 7);
+    }
+
+    #[test]
+    fn race_with_no_finisher_returns_none() {
+        let runners: Vec<fn(&AtomicBool) -> Option<u32>> = vec![|_| None, |_| None];
+        assert!(race(runners).is_none());
+        assert!(race(Vec::<fn(&AtomicBool) -> Option<u32>>::new()).is_none());
     }
 
     #[test]

@@ -4,9 +4,37 @@
 //! the three clauses `(¬v ∨ a) (¬v ∨ b) (v ∨ ¬a ∨ ¬b)`. Node overrides allow
 //! encoding *faulty* copies (stuck-at values) for ATPG.
 
+use crate::portfolio::PortfolioSolver;
 use crate::solver::{SatLit, SatVar, Solver};
 use almost_aig::{Aig, Lit, NodeKind, Var};
 use std::collections::HashMap;
+
+/// Anything Tseitin clauses can be emitted into: the plain [`Solver`] or
+/// a [`PortfolioSolver`] broadcasting to its racing workers.
+pub trait ClauseSink {
+    /// Allocates a fresh solver variable.
+    fn new_var(&mut self) -> SatVar;
+    /// Adds a clause over existing variables.
+    fn add_clause(&mut self, lits: &[SatLit]);
+}
+
+impl ClauseSink for Solver {
+    fn new_var(&mut self) -> SatVar {
+        Solver::new_var(self)
+    }
+    fn add_clause(&mut self, lits: &[SatLit]) {
+        Solver::add_clause(self, lits)
+    }
+}
+
+impl ClauseSink for PortfolioSolver {
+    fn new_var(&mut self) -> SatVar {
+        PortfolioSolver::new_var(self)
+    }
+    fn add_clause(&mut self, lits: &[SatLit]) {
+        PortfolioSolver::add_clause(self, lits)
+    }
+}
 
 /// The result of encoding one AIG copy into a solver.
 #[derive(Clone, Debug)]
@@ -20,7 +48,7 @@ pub struct AigCnf {
 }
 
 /// Encodes `aig` into `solver`, creating fresh input variables.
-pub fn encode(solver: &mut Solver, aig: &Aig) -> AigCnf {
+pub fn encode<S: ClauseSink>(solver: &mut S, aig: &Aig) -> AigCnf {
     let input_vars: Vec<SatVar> = (0..aig.num_inputs()).map(|_| solver.new_var()).collect();
     encode_with_inputs(solver, aig, &input_vars, &HashMap::new())
 }
@@ -34,8 +62,8 @@ pub fn encode(solver: &mut Solver, aig: &Aig) -> AigCnf {
 /// # Panics
 ///
 /// Panics if `input_vars.len()` differs from the AIG's input count.
-pub fn encode_with_inputs(
-    solver: &mut Solver,
+pub fn encode_with_inputs<S: ClauseSink>(
+    solver: &mut S,
     aig: &Aig,
     input_vars: &[SatVar],
     overrides: &HashMap<Var, bool>,
@@ -89,7 +117,7 @@ fn lit_of(node_lits: &[SatLit], lit: Lit) -> SatLit {
 }
 
 /// Adds an XOR constraint `out = a ⊕ b` and returns `out`.
-pub fn encode_xor(solver: &mut Solver, a: SatLit, b: SatLit) -> SatLit {
+pub fn encode_xor<S: ClauseSink>(solver: &mut S, a: SatLit, b: SatLit) -> SatLit {
     let out = SatLit::positive(solver.new_var());
     solver.add_clause(&[!out, a, b]);
     solver.add_clause(&[!out, !a, !b]);

@@ -41,9 +41,12 @@
 
 use crate::cnf::{encode_with_inputs, encode_xor};
 use crate::miter::{restrict_to_keys, splice_inputs};
-use crate::solver::{SatLit, SatResult, SatVar, Solver};
+use crate::portfolio::{PortfolioSolver, PortfolioStats};
+use crate::solver::{SatLit, SatResult, SatVar};
 use almost_aig::Aig;
 use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// Outcome of one 2-DIP query.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -78,7 +81,7 @@ pub enum TwoDipSearch {
 /// assert_eq!(miter.find_2dip(None), TwoDipSearch::Settled);
 /// ```
 pub struct DoubleDipMiter {
-    solver: Solver,
+    solver: PortfolioSolver,
     locked: Aig,
     key_start: usize,
     key_len: usize,
@@ -123,7 +126,7 @@ impl DoubleDipMiter {
             "key range out of bounds"
         );
         assert!(locked.num_outputs() > 0, "miter needs outputs to compare");
-        let mut solver = Solver::new();
+        let mut solver = PortfolioSolver::new("double_dip_miter");
         let num_data = locked.num_inputs() - key_len;
         let x_vars: Vec<SatVar> = (0..num_data).map(|_| solver.new_var()).collect();
         let keys: [Vec<SatVar>; 4] =
@@ -198,22 +201,19 @@ impl DoubleDipMiter {
     /// With `max_conflicts = None` the query runs to completion; with a
     /// budget it may return [`TwoDipSearch::OutOfBudget`].
     pub fn find_2dip(&mut self, max_conflicts: Option<u64>) -> TwoDipSearch {
-        let result = match max_conflicts {
-            None => Some(self.solver.solve(&[self.act])),
-            Some(budget) => self.solver.solve_limited(&[self.act], budget),
-        };
-        match result {
-            None => {
+        match self.solver.try_solve(&[self.act], max_conflicts) {
+            Err(interrupt) => {
                 let budget = max_conflicts.unwrap_or(0);
                 almost_telemetry::trace(|| almost_telemetry::EventKind::BudgetExhausted {
                     engine: "double_dip_miter",
                     budget,
                     conflicts: self.solver.stats().conflicts,
+                    cause: interrupt.cause(),
                 });
                 TwoDipSearch::OutOfBudget
             }
-            Some(SatResult::Unsat) => TwoDipSearch::Settled,
-            Some(SatResult::Sat) => TwoDipSearch::Found(
+            Ok(SatResult::Unsat) => TwoDipSearch::Settled,
+            Ok(SatResult::Sat) => TwoDipSearch::Found(
                 self.x_vars
                     .iter()
                     .map(|&v| self.solver.value(v).unwrap_or(false))
@@ -255,9 +255,21 @@ impl DoubleDipMiter {
     /// Returns `None` only if the constraints are contradictory, which
     /// indicates an inconsistent oracle.
     pub fn settle_key(&mut self) -> Option<Vec<bool>> {
-        match self.solver.solve(&[!self.act]) {
-            SatResult::Unsat => None,
-            SatResult::Sat => Some(
+        match self.solver.try_solve(&[!self.act], None) {
+            Err(interrupt) => {
+                // Only an external cancellation can interrupt an
+                // unlimited query; report it like a budget exhaustion and
+                // yield no key.
+                almost_telemetry::trace(|| almost_telemetry::EventKind::BudgetExhausted {
+                    engine: "double_dip_miter",
+                    budget: 0,
+                    conflicts: self.solver.stats().conflicts,
+                    cause: interrupt.cause(),
+                });
+                None
+            }
+            Ok(SatResult::Unsat) => None,
+            Ok(SatResult::Sat) => Some(
                 self.keys[0]
                     .iter()
                     .map(|&v| self.solver.value(v).unwrap_or(false))
@@ -289,6 +301,18 @@ impl DoubleDipMiter {
     /// Solver size: (variables, clauses).
     pub fn solver_size(&self) -> (usize, usize) {
         (self.solver.num_vars(), self.solver.num_clauses())
+    }
+
+    /// Cumulative portfolio counters (races, wins, exchange volume).
+    pub fn portfolio_stats(&self) -> PortfolioStats {
+        self.solver.portfolio_stats()
+    }
+
+    /// Installs an external cancellation flag: raising it makes every
+    /// subsequent query return [`TwoDipSearch::OutOfBudget`] (reported
+    /// with `cause: "cancelled"` in telemetry).
+    pub fn set_stop_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.solver.set_stop_flag(flag);
     }
 }
 

@@ -40,10 +40,12 @@ pub mod double_dip;
 pub mod equiv;
 pub mod heap;
 pub mod miter;
+pub mod portfolio;
 pub mod solver;
 
 pub use double_dip::{DoubleDipMiter, TwoDipSearch};
 pub use equiv::{check_equivalence, check_equivalence_limited, test_stuck_at, Equivalence};
 pub use heap::ActivityHeap;
 pub use miter::{DipSearch, KeyMiter};
-pub use solver::{SatLit, SatResult, SatVar, Solver, SolverStats};
+pub use portfolio::{PortfolioSolver, PortfolioStats};
+pub use solver::{ClauseExchange, Interrupt, SatLit, SatResult, SatVar, Solver, SolverStats};

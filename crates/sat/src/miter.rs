@@ -22,9 +22,12 @@
 //! circuit copy.
 
 use crate::cnf::{encode_with_inputs, encode_xor};
-use crate::solver::{SatLit, SatResult, SatVar, Solver};
+use crate::portfolio::{PortfolioSolver, PortfolioStats};
+use crate::solver::{SatLit, SatResult, SatVar};
 use almost_aig::{Aig, Lit, NodeKind};
 use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// Outcome of one DIP query.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -68,7 +71,7 @@ pub enum DipSearch {
 /// assert_eq!(miter.settle_key(), Some(vec![false]));
 /// ```
 pub struct KeyMiter {
-    solver: Solver,
+    solver: PortfolioSolver,
     locked: Aig,
     key_start: usize,
     key_len: usize,
@@ -96,7 +99,7 @@ impl KeyMiter {
             "key range out of bounds"
         );
         assert!(locked.num_outputs() > 0, "miter needs outputs to compare");
-        let mut solver = Solver::new();
+        let mut solver = PortfolioSolver::new("key_miter");
         let num_data = locked.num_inputs() - key_len;
         let x_vars: Vec<SatVar> = (0..num_data).map(|_| solver.new_var()).collect();
         let key_a: Vec<SatVar> = (0..key_len).map(|_| solver.new_var()).collect();
@@ -134,22 +137,19 @@ impl KeyMiter {
     /// With `max_conflicts = None` the query runs to completion; with a
     /// budget it may return [`DipSearch::OutOfBudget`].
     pub fn find_dip(&mut self, max_conflicts: Option<u64>) -> DipSearch {
-        let result = match max_conflicts {
-            None => Some(self.solver.solve(&[self.act])),
-            Some(budget) => self.solver.solve_limited(&[self.act], budget),
-        };
-        match result {
-            None => {
+        match self.solver.try_solve(&[self.act], max_conflicts) {
+            Err(interrupt) => {
                 let budget = max_conflicts.unwrap_or(0);
                 almost_telemetry::trace(|| almost_telemetry::EventKind::BudgetExhausted {
                     engine: "key_miter",
                     budget,
                     conflicts: self.solver.stats().conflicts,
+                    cause: interrupt.cause(),
                 });
                 DipSearch::OutOfBudget
             }
-            Some(SatResult::Unsat) => DipSearch::Settled,
-            Some(SatResult::Sat) => DipSearch::Found(
+            Ok(SatResult::Unsat) => DipSearch::Settled,
+            Ok(SatResult::Sat) => DipSearch::Found(
                 self.x_vars
                     .iter()
                     .map(|&v| self.solver.value(v).unwrap_or(false))
@@ -194,9 +194,21 @@ impl KeyMiter {
     /// Returns `None` only if the constraints are contradictory, which
     /// indicates an inconsistent oracle.
     pub fn settle_key(&mut self) -> Option<Vec<bool>> {
-        match self.solver.solve(&[!self.act]) {
-            SatResult::Unsat => None,
-            SatResult::Sat => Some(
+        match self.solver.try_solve(&[!self.act], None) {
+            Err(interrupt) => {
+                // Only an external cancellation can interrupt an
+                // unlimited query; report it like a budget exhaustion and
+                // yield no key.
+                almost_telemetry::trace(|| almost_telemetry::EventKind::BudgetExhausted {
+                    engine: "key_miter",
+                    budget: 0,
+                    conflicts: self.solver.stats().conflicts,
+                    cause: interrupt.cause(),
+                });
+                None
+            }
+            Ok(SatResult::Unsat) => None,
+            Ok(SatResult::Sat) => Some(
                 self.key_a
                     .iter()
                     .map(|&v| self.solver.value(v).unwrap_or(false))
@@ -228,6 +240,18 @@ impl KeyMiter {
     /// Solver size: (variables, clauses).
     pub fn solver_size(&self) -> (usize, usize) {
         (self.solver.num_vars(), self.solver.num_clauses())
+    }
+
+    /// Cumulative portfolio counters (races, wins, exchange volume).
+    pub fn portfolio_stats(&self) -> PortfolioStats {
+        self.solver.portfolio_stats()
+    }
+
+    /// Installs an external cancellation flag: raising it makes every
+    /// subsequent query return [`DipSearch::OutOfBudget`] (reported with
+    /// `cause: "cancelled"` in telemetry).
+    pub fn set_stop_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.solver.set_stop_flag(flag);
     }
 }
 

@@ -15,6 +15,7 @@
 use crate::heap::ActivityHeap;
 use almost_telemetry as telemetry;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// The telemetry mirror of [`SolverStats`]' search-effort counters
 /// (database-size fields are gauges, not effort, and stay out of the
@@ -121,6 +122,52 @@ enum Value {
 
 const INVALID_CLAUSE: u32 = u32::MAX;
 
+/// Sentinel returned by the propagate loop when a portfolio stop flag
+/// interrupted it mid-queue. Distinct from both [`INVALID_CLAUSE`] and
+/// every real clause index so cancellation can never be mistaken for a
+/// conflict (which would turn a race into a wrong UNSAT).
+const CANCELLED: u32 = u32::MAX - 1;
+
+/// Why a cancellable search came back without a verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The per-call conflict budget ran out.
+    Budget,
+    /// A portfolio stop flag was raised (a sibling finished first).
+    Cancelled,
+}
+
+impl Interrupt {
+    /// The telemetry `cause` label for a `budget_exhausted` event.
+    pub fn cause(self) -> &'static str {
+        match self {
+            Interrupt::Budget => "budget",
+            Interrupt::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Hook points a portfolio uses to share learnt glue clauses between
+/// racing solver instances. Soundness rests on every participant holding
+/// the *identical* original formula: learnt clauses are implied by the
+/// formula alone, so importing a sibling's glue can never flip a verdict.
+pub trait ClauseExchange {
+    /// Offers a freshly learnt glue clause (unit, binary, or LBD ≤ 2)
+    /// for publication to siblings.
+    fn export(&mut self, lits: &[SatLit], lbd: u32);
+    /// Drains clauses published by siblings into `buf` (called at search
+    /// start and at restart boundaries, when the trail is shallow).
+    fn import(&mut self, buf: &mut Vec<Vec<SatLit>>);
+}
+
+/// What happened while splicing a batch of imported clauses in at the
+/// root level.
+enum ImportOutcome {
+    Proceed,
+    RootConflict,
+    Cancelled,
+}
+
 /// Learnt clauses at or below this LBD ("glue" clauses) are never deleted.
 const GLUE_LBD: u32 = 2;
 
@@ -172,6 +219,14 @@ pub struct Solver {
     unsat: bool,
     db_reduction: bool,
     reduce_threshold: usize,
+    /// Luby restart unit in conflicts; [`RESTART_BASE`] unless a
+    /// portfolio diversified this instance.
+    restart_base: u64,
+    /// Nonzero when this instance carries diversified initial VSIDS
+    /// activities (portfolio workers ≥ 1); 0 is the pinned reference.
+    diversity_seed: u64,
+    /// Initial saved phase for freshly allocated variables.
+    default_phase: bool,
     num_learnts: usize,
     num_conflicts: u64,
     num_decisions: u64,
@@ -212,6 +267,9 @@ impl Solver {
             unsat: false,
             db_reduction: true,
             reduce_threshold: DEFAULT_REDUCE_THRESHOLD,
+            restart_base: RESTART_BASE,
+            diversity_seed: 0,
+            default_phase: false,
             num_learnts: 0,
             num_conflicts: 0,
             num_decisions: 0,
@@ -226,15 +284,56 @@ impl Solver {
     pub fn new_var(&mut self) -> SatVar {
         let v = self.assign.len() as SatVar;
         self.assign.push(Value::Unassigned);
-        self.phase.push(false);
+        self.phase.push(self.default_phase);
         self.level.push(0);
         self.reason.push(INVALID_CLAUSE);
-        self.activity.push(0.0);
+        self.activity.push(if self.diversity_seed == 0 {
+            0.0
+        } else {
+            diversity_activity(self.diversity_seed, v)
+        });
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.order.insert(v, &self.activity);
         v
+    }
+
+    /// Seeds diversified initial VSIDS activities (applied retroactively
+    /// to existing variables and to every variable allocated later). The
+    /// perturbations are tiny (≤ 1e-6, against a decision bump of 1.0),
+    /// so they only reshuffle the tie order among untouched variables —
+    /// enough to send racing instances down different branches. Seed 0 is
+    /// the undiversified pinned reference (a no-op).
+    pub fn set_diversity_seed(&mut self, seed: u64) {
+        self.diversity_seed = seed;
+        if seed == 0 {
+            return;
+        }
+        for v in 0..self.activity.len() {
+            self.activity[v] = diversity_activity(seed, v as SatVar);
+        }
+        self.order.rebuild(&self.activity);
+    }
+
+    /// Overrides the Luby restart unit (default 100 conflicts) — a
+    /// portfolio diversification knob: workers on longer units dig
+    /// deeper between restarts, workers on shorter ones resample more.
+    pub fn set_restart_base(&mut self, base: u64) {
+        self.restart_base = base.max(1);
+    }
+
+    /// Sets the initial saved phase handed to fresh variables (and to
+    /// every currently unassigned variable). The default `false` matches
+    /// the classic MiniSat negative-first policy; portfolio workers flip
+    /// it to explore the complementary half of the space first.
+    pub fn set_default_phase(&mut self, phase: bool) {
+        self.default_phase = phase;
+        for (v, ph) in self.phase.iter_mut().enumerate() {
+            if self.assign[v] == Value::Unassigned {
+                *ph = phase;
+            }
+        }
     }
 
     /// Number of allocated variables.
@@ -483,7 +582,22 @@ impl Solver {
     /// Unit propagation; returns the index of a conflicting clause or
     /// `INVALID_CLAUSE`.
     fn propagate(&mut self) -> u32 {
+        self.propagate_ctl(None)
+    }
+
+    /// Unit propagation with an optional portfolio stop flag, polled
+    /// every 1024 propagations (one relaxed load amortised over a long
+    /// propagation burst — invisible in the serial reference, bounded
+    /// cancellation latency in a race). Returns [`CANCELLED`] when the
+    /// flag is up; the poll sits between trail literals, so the watch
+    /// lists and `qhead` are consistent and the queue resumes later.
+    fn propagate_ctl(&mut self, stop: Option<&AtomicBool>) -> u32 {
         while self.qhead < self.trail.len() {
+            if let Some(flag) = stop {
+                if self.num_propagations & 1023 == 0 && flag.load(Ordering::Relaxed) {
+                    return CANCELLED;
+                }
+            }
             let lit = self.trail[self.qhead];
             self.qhead += 1;
             self.num_propagations += 1;
@@ -668,7 +782,12 @@ impl Solver {
                 self.order.insert(v as SatVar, &self.activity);
             }
         }
-        self.qhead = self.trail.len();
+        // Clamp rather than jump: after a cancelled propagation `qhead`
+        // may sit below the surviving trail, and skipping those queued
+        // literals would silently drop implications (future wrong
+        // verdicts). On every non-cancelled path propagation has drained
+        // the queue, so the clamp is the old assignment exactly.
+        self.qhead = self.qhead.min(self.trail.len());
     }
 
     /// Picks the unassigned variable ordered first by the VSIDS heap.
@@ -690,8 +809,10 @@ impl Solver {
     /// solver can be re-used: more clauses and further `solve` calls are
     /// allowed.
     pub fn solve(&mut self, assumptions: &[SatLit]) -> SatResult {
-        self.search(assumptions, u64::MAX)
-            .expect("unlimited search always concludes")
+        match self.search(assumptions, u64::MAX, None, None) {
+            Ok(r) => r,
+            Err(_) => unreachable!("unlimited, uncancellable search always concludes"),
+        }
     }
 
     /// Like [`Solver::solve`], but gives up after `max_conflicts` conflicts,
@@ -706,26 +827,133 @@ impl Solver {
         assumptions: &[SatLit],
         max_conflicts: u64,
     ) -> Option<SatResult> {
-        self.search(assumptions, max_conflicts)
+        self.search(assumptions, max_conflicts, None, None).ok()
     }
 
-    fn search(&mut self, assumptions: &[SatLit], max_conflicts: u64) -> Option<SatResult> {
+    /// The portfolio entry point: a conflict-budgeted solve that also
+    /// polls `stop` (raised by a sibling that finished first) and, when
+    /// `exchange` is given, publishes learnt glue clauses and imports
+    /// siblings' glue at restart boundaries.
+    ///
+    /// A raised stop flag yields `Err(Interrupt::Cancelled)` — always the
+    /// indeterminate result, never a verdict — and leaves the solver in
+    /// the same resumable state a budget exhaustion would.
+    pub fn solve_raced(
+        &mut self,
+        assumptions: &[SatLit],
+        max_conflicts: u64,
+        stop: &AtomicBool,
+        exchange: Option<&mut dyn ClauseExchange>,
+    ) -> Result<SatResult, Interrupt> {
+        // The in-search poll fires every 1024 propagations; an
+        // unconditional entry check keeps the contract exact — a tripped
+        // flag NEVER yields a verdict, even on instances small enough to
+        // decide between two poll points.
+        if stop.load(Ordering::Relaxed) {
+            return Err(Interrupt::Cancelled);
+        }
+        self.search(assumptions, max_conflicts, Some(stop), exchange)
+    }
+
+    /// Splices a batch of imported glue clauses in at the root level:
+    /// simplifies each against the root assignment, stores survivors as
+    /// undeletable glue learnts, then runs one propagation pass over the
+    /// enqueued units. Caller must already be at decision level 0.
+    fn import_clauses(
+        &mut self,
+        imports: &mut Vec<Vec<SatLit>>,
+        stop: Option<&AtomicBool>,
+    ) -> ImportOutcome {
+        debug_assert!(self.trail_lim.is_empty(), "imports splice in at the root");
+        for lits in imports.drain(..) {
+            let mut simplified: Vec<SatLit> = Vec::with_capacity(lits.len());
+            let mut satisfied = false;
+            for &l in &lits {
+                if simplified.contains(&!l) {
+                    satisfied = true; // tautology
+                    break;
+                }
+                if !simplified.contains(&l) {
+                    match self.lit_value(l) {
+                        Value::True => {
+                            satisfied = true;
+                            break;
+                        }
+                        Value::False => continue,
+                        Value::Unassigned => simplified.push(l),
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match simplified.len() {
+                // An imported clause is implied by the shared formula, so
+                // falsifying it at the root is a genuine UNSAT proof.
+                0 => return ImportOutcome::RootConflict,
+                1 => {
+                    if !self.enqueue(simplified[0], INVALID_CLAUSE) {
+                        return ImportOutcome::RootConflict;
+                    }
+                }
+                // Imported glue is pinned at GLUE_LBD so database
+                // reduction never drops it (matching its status in the
+                // exporting instance).
+                _ => {
+                    self.alloc_clause(simplified, true, GLUE_LBD);
+                }
+            }
+        }
+        match self.propagate_ctl(stop) {
+            INVALID_CLAUSE => ImportOutcome::Proceed,
+            CANCELLED => ImportOutcome::Cancelled,
+            _conflict => ImportOutcome::RootConflict,
+        }
+    }
+
+    fn search(
+        &mut self,
+        assumptions: &[SatLit],
+        max_conflicts: u64,
+        stop: Option<&AtomicBool>,
+        mut exchange: Option<&mut dyn ClauseExchange>,
+    ) -> Result<SatResult, Interrupt> {
         if self.unsat {
-            return Some(SatResult::Unsat);
+            return Ok(SatResult::Unsat);
         }
         self.cancel_until(0);
-        if self.propagate() != INVALID_CLAUSE {
-            self.unsat = true;
-            return Some(SatResult::Unsat);
+        match self.propagate_ctl(stop) {
+            INVALID_CLAUSE => {}
+            CANCELLED => return Err(Interrupt::Cancelled),
+            _conflict => {
+                self.unsat = true;
+                return Ok(SatResult::Unsat);
+            }
+        }
+        let mut import_buf: Vec<Vec<SatLit>> = Vec::new();
+        if let Some(ex) = exchange.as_deref_mut() {
+            ex.import(&mut import_buf);
+            match self.import_clauses(&mut import_buf, stop) {
+                ImportOutcome::Proceed => {}
+                ImportOutcome::Cancelled => return Err(Interrupt::Cancelled),
+                ImportOutcome::RootConflict => {
+                    self.unsat = true;
+                    return Ok(SatResult::Unsat);
+                }
+            }
         }
 
         let mut curr_restarts = 0u64;
-        let mut restart_limit = luby(curr_restarts) * RESTART_BASE;
+        let mut restart_limit = luby(curr_restarts) * self.restart_base;
         let mut conflicts_since_restart = 0u64;
         let mut conflicts_this_call = 0u64;
 
         loop {
-            let conflict = self.propagate();
+            let conflict = self.propagate_ctl(stop);
+            if conflict == CANCELLED {
+                self.cancel_until(0);
+                return Err(Interrupt::Cancelled);
+            }
             if conflict != INVALID_CLAUSE {
                 self.num_conflicts += 1;
                 conflicts_since_restart += 1;
@@ -735,7 +963,7 @@ impl Solver {
                 }
                 if self.trail_lim.is_empty() {
                     self.unsat = true;
-                    return Some(SatResult::Unsat);
+                    return Ok(SatResult::Unsat);
                 }
                 // Conflicts below the assumption levels mean the assumptions
                 // are inconsistent with the formula; analyze() still works,
@@ -745,28 +973,45 @@ impl Solver {
                 // number of assumption levels as UNSAT-under-assumptions.
                 let (learnt, backjump) = self.analyze(conflict);
                 if (self.trail_lim.len() as u32) <= num_assumed_levels(assumptions, self) {
-                    return Some(SatResult::Unsat);
+                    return Ok(SatResult::Unsat);
                 }
                 // Decay activities.
                 self.var_inc /= 0.95;
                 self.cla_inc /= 0.999;
                 let asserting = learnt[0];
                 if learnt.len() == 1 {
+                    if let Some(ex) = exchange.as_deref_mut() {
+                        ex.export(&learnt, 1);
+                    }
                     // A unit learnt must live at the root: enqueueing it at
                     // an assumption level would leave a reason-less literal
                     // above level 0, which a later conflict analysis cannot
                     // resolve through. The main loop re-decides the
                     // assumptions afterwards.
                     self.cancel_until(0);
-                    if !self.enqueue(asserting, INVALID_CLAUSE)
-                        || self.propagate() != INVALID_CLAUSE
-                    {
+                    if !self.enqueue(asserting, INVALID_CLAUSE) {
                         self.unsat = true;
-                        return Some(SatResult::Unsat);
+                        return Ok(SatResult::Unsat);
+                    }
+                    match self.propagate_ctl(stop) {
+                        INVALID_CLAUSE => {}
+                        CANCELLED => {
+                            self.cancel_until(0);
+                            return Err(Interrupt::Cancelled);
+                        }
+                        _conflict => {
+                            self.unsat = true;
+                            return Ok(SatResult::Unsat);
+                        }
                     }
                 } else {
                     // LBD is measured before backjumping unassigns levels.
                     let lbd = self.clause_lbd(&learnt);
+                    if learnt.len() <= 2 || lbd <= GLUE_LBD {
+                        if let Some(ex) = exchange.as_deref_mut() {
+                            ex.export(&learnt, lbd);
+                        }
+                    }
                     let backjump = backjump.max(num_assumed_levels(assumptions, self));
                     self.cancel_until(backjump);
                     let idx = self.alloc_clause(learnt, true, lbd);
@@ -779,14 +1024,33 @@ impl Solver {
                 }
                 if conflicts_this_call >= max_conflicts {
                     self.cancel_until(0);
-                    return None;
+                    return Err(Interrupt::Budget);
                 }
                 if conflicts_since_restart >= restart_limit {
                     conflicts_since_restart = 0;
                     curr_restarts += 1;
-                    restart_limit = luby(curr_restarts) * RESTART_BASE;
+                    restart_limit = luby(curr_restarts) * self.restart_base;
                     self.num_restarts += 1;
                     self.cancel_until(num_assumed_levels(assumptions, self));
+                    if let Some(ex) = exchange.as_deref_mut() {
+                        ex.import(&mut import_buf);
+                        if !import_buf.is_empty() {
+                            // Imports splice in at the root; the main
+                            // loop re-decides the assumptions afterwards.
+                            self.cancel_until(0);
+                            match self.import_clauses(&mut import_buf, stop) {
+                                ImportOutcome::Proceed => {}
+                                ImportOutcome::Cancelled => {
+                                    self.cancel_until(0);
+                                    return Err(Interrupt::Cancelled);
+                                }
+                                ImportOutcome::RootConflict => {
+                                    self.unsat = true;
+                                    return Ok(SatResult::Unsat);
+                                }
+                            }
+                        }
+                    }
                 }
                 continue;
             }
@@ -803,7 +1067,7 @@ impl Solver {
                         self.trail_lim.push(self.trail.len());
                         continue;
                     }
-                    Value::False => return Some(SatResult::Unsat),
+                    Value::False => return Ok(SatResult::Unsat),
                     Value::Unassigned => {
                         self.trail_lim.push(self.trail.len());
                         let ok = self.enqueue(a, INVALID_CLAUSE);
@@ -814,7 +1078,7 @@ impl Solver {
             }
 
             match self.decide() {
-                None => return Some(SatResult::Sat),
+                None => return Ok(SatResult::Sat),
                 Some(lit) => {
                     self.num_decisions += 1;
                     self.trail_lim.push(self.trail.len());
@@ -839,6 +1103,20 @@ impl Solver {
     pub fn lit_bool(&self, lit: SatLit) -> Option<bool> {
         self.value(lit.var()).map(|v| v ^ lit.is_negative())
     }
+}
+
+/// Deterministic per-variable activity perturbation for portfolio
+/// diversification: a splitmix64-style hash of (seed, var) scaled into
+/// (0, 1e-6] — large enough to reshuffle ties, three orders of magnitude
+/// below the first real VSIDS bump.
+fn diversity_activity(seed: u64, var: SatVar) -> f64 {
+    let mut z = seed ^ (u64::from(var)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // Map to (0, 1]: never exactly 0, so diversified instances are
+    // distinguishable from the pinned reference on every variable.
+    ((z >> 11) as f64 + 1.0) / (1u64 << 53) as f64 * 1e-6
 }
 
 /// The Luby restart sequence 1, 1, 2, 1, 1, 2, 4, … (`i` is 0-based).

@@ -1,0 +1,143 @@
+//! Property tests for portfolio soundness: racing diversified solvers
+//! and exchanging learnt glue clauses must never change a verdict, and a
+//! cancelled query must never *be* a verdict.
+//!
+//! Two invariants, over random 3-SAT instances spanning the
+//! phase-transition ratio (where both verdicts occur and conflicts are
+//! plentiful):
+//!
+//! 1. **Exchange soundness** — a width-4 portfolio (diversified workers,
+//!    glue exchange on) reaches exactly the verdict of the serial
+//!    no-exchange reference. Learnt clauses are implied by the formula
+//!    alone, so an imported clause can prune search but never flip
+//!    SAT ↔ UNSAT; a SAT winner's model must still satisfy the original
+//!    clauses.
+//! 2. **Cancellation is indeterminate** — `solve_raced` under an
+//!    already-tripped stop flag returns `Err(Cancelled)`, never a
+//!    verdict, and leaves the solver reusable (a follow-up uncancelled
+//!    query still answers correctly).
+
+use almost_sat::{Interrupt, PortfolioSolver, SatLit, SatResult, Solver};
+use proptest::prelude::*;
+use std::sync::atomic::AtomicBool;
+
+/// A random 3-SAT instance: `vars` variables, clause count set by the
+/// clause/variable `ratio_pct` (percent, so 426 ≈ the 4.26 phase
+/// transition). Literals are decoded from the proptest-driven `seed`.
+fn random_3sat(vars: u32, ratio_pct: u32, mut seed: u64) -> Vec<Vec<SatLit>> {
+    let num_clauses = ((vars * ratio_pct) / 100).max(1);
+    let mut next = move || {
+        // splitmix64: decorrelates consecutive draws from the one seed.
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..num_clauses)
+        .map(|_| {
+            (0..3)
+                .map(|_| {
+                    let r = next();
+                    SatLit::new((r % vars as u64) as u32, r & (1 << 32) != 0)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn load_solver(clauses: &[Vec<SatLit>], vars: u32) -> Solver {
+    let mut s = Solver::new();
+    for _ in 0..vars {
+        s.new_var();
+    }
+    for cl in clauses {
+        s.add_clause(cl);
+    }
+    s
+}
+
+fn load_portfolio(clauses: &[Vec<SatLit>], vars: u32, width: usize) -> PortfolioSolver {
+    let mut p = PortfolioSolver::with_width("soundness_test", width);
+    for _ in 0..vars {
+        p.new_var();
+    }
+    for cl in clauses {
+        p.add_clause(cl);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invariant 1: the racing, clause-exchanging portfolio agrees with
+    /// the serial no-exchange reference on every instance, and a SAT
+    /// winner's model satisfies the original formula.
+    #[test]
+    fn exchanged_glue_never_flips_a_verdict(
+        vars in 10u32..40,
+        ratio_pct in 300u32..550,
+        seed in any::<u64>(),
+    ) {
+        let clauses = random_3sat(vars, ratio_pct, seed);
+        let mut reference = load_solver(&clauses, vars);
+        let expected = reference.solve(&[]);
+
+        let mut portfolio = load_portfolio(&clauses, vars, 4);
+        let got = portfolio.solve(&[]);
+        prop_assert_eq!(got, expected, "portfolio verdict diverged from serial");
+        if got == SatResult::Sat {
+            for cl in &clauses {
+                prop_assert!(
+                    cl.iter().any(|&l| portfolio.lit_bool(l).unwrap_or(false)),
+                    "winning model violates an original clause"
+                );
+            }
+        }
+    }
+
+    /// Invariant 1b: verdicts also agree under assumptions (the miters
+    /// always query under an activation guard).
+    #[test]
+    fn assumption_verdicts_agree(
+        vars in 10u32..30,
+        ratio_pct in 300u32..550,
+        seed in any::<u64>(),
+        assumed in 0u32..4,
+    ) {
+        let clauses = random_3sat(vars, ratio_pct, seed);
+        let assumptions: Vec<SatLit> = (0..assumed.min(vars))
+            .map(|v| SatLit::new(v, v % 2 == 0))
+            .collect();
+        let mut reference = load_solver(&clauses, vars);
+        let expected = reference.solve(&assumptions);
+        let mut portfolio = load_portfolio(&clauses, vars, 3);
+        prop_assert_eq!(portfolio.solve(&assumptions), expected);
+    }
+
+    /// Invariant 2: a tripped stop flag yields `Cancelled` — never a
+    /// verdict — and the solver survives to answer a real query.
+    #[test]
+    fn tripped_stop_flag_is_never_a_verdict(
+        vars in 10u32..40,
+        ratio_pct in 300u32..550,
+        seed in any::<u64>(),
+    ) {
+        let clauses = random_3sat(vars, ratio_pct, seed);
+        let mut solver = load_solver(&clauses, vars);
+        let tripped = AtomicBool::new(true);
+        prop_assert_eq!(
+            solver.solve_raced(&[], u64::MAX, &tripped, None),
+            Err(Interrupt::Cancelled)
+        );
+        // The cancelled solver is still consistent: an uncancelled rerun
+        // reaches the reference verdict.
+        let calm = AtomicBool::new(false);
+        let mut reference = load_solver(&clauses, vars);
+        prop_assert_eq!(
+            solver.solve_raced(&[], u64::MAX, &calm, None),
+            Ok(reference.solve(&[]))
+        );
+    }
+}

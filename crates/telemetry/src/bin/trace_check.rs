@@ -8,8 +8,9 @@
 //! - timestamps are monotone non-decreasing per thread;
 //! - span open/close events balance per thread (LIFO, matching names);
 //! - if given, the Chrome trace parses as a JSON array whose pool-worker
-//!   tracks (`tid >= 1000`) each carry a `thread_name` metadata record,
-//!   with one track per worker that executed jobs in the JSONL.
+//!   tracks (`tid >= 1000`) and portfolio-solver tracks (`tid >= 2000`)
+//!   each carry a `thread_name` metadata record, with one track per
+//!   worker that executed jobs (or raced a query) in the JSONL.
 
 use almost_telemetry::json::{parse, Value};
 use std::collections::{BTreeMap, BTreeSet};
@@ -28,7 +29,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let workers = match check_jsonl(&jsonl) {
+    let (workers, portfolio) = match check_jsonl(&jsonl) {
         Ok(w) => w,
         Err(e) => {
             eprintln!("trace_check: {}: {e}", args[0]);
@@ -43,15 +44,16 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        if let Err(e) = check_chrome(&trace, &workers) {
+        if let Err(e) = check_chrome(&trace, &workers, &portfolio) {
             eprintln!("trace_check: {trace_path}: {e}");
             return ExitCode::FAILURE;
         }
     }
     println!(
-        "trace_check: OK ({} lines, {} pool workers)",
+        "trace_check: OK ({} lines, {} pool workers, {} portfolio workers)",
         jsonl.lines().count(),
-        workers.len()
+        workers.len(),
+        portfolio.len()
     );
     ExitCode::SUCCESS
 }
@@ -63,6 +65,7 @@ const KINDS: &[&str] = &[
     "pool_batch",
     "solver_progress",
     "budget_exhausted",
+    "portfolio_race",
     "search_step",
     "train_epoch",
     "oracle_compile",
@@ -70,11 +73,14 @@ const KINDS: &[&str] = &[
     "message",
 ];
 
-/// Validates the JSONL event log; returns the set of pool workers seen.
-fn check_jsonl(text: &str) -> Result<BTreeSet<u64>, String> {
+/// Validates the JSONL event log; returns the sets of pool workers and
+/// portfolio workers seen.
+#[allow(clippy::type_complexity)]
+fn check_jsonl(text: &str) -> Result<(BTreeSet<u64>, BTreeSet<u64>), String> {
     let mut last_t: BTreeMap<u64, u64> = BTreeMap::new();
     let mut span_stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
     let mut workers = BTreeSet::new();
+    let mut portfolio = BTreeSet::new();
     for (i, line) in text.lines().enumerate() {
         let n = i + 1;
         let v = parse(line).map_err(|e| format!("line {n}: {e}"))?;
@@ -141,6 +147,37 @@ fn check_jsonl(text: &str) -> Result<BTreeSet<u64>, String> {
                 req_str(&v, "engine", n)?;
                 req_u64(&v, "budget", n)?;
                 req_u64(&v, "conflicts", n)?;
+                let cause = req_str(&v, "cause", n)?;
+                if cause != "budget" && cause != "cancelled" {
+                    return Err(format!(
+                        "line {n}: unknown budget_exhausted cause {cause:?}"
+                    ));
+                }
+            }
+            "portfolio_race" => {
+                req_str(&v, "engine", n)?;
+                let w = req_u64(&v, "workers", n)?;
+                let winner = req_u64(&v, "winner", n)?;
+                req_u64(&v, "dur_us", n)?;
+                req_u64(&v, "cancel_us", n)?;
+                let per = v
+                    .get("per_worker")
+                    .and_then(Value::as_arr)
+                    .ok_or(format!("line {n}: missing per_worker"))?;
+                if per.len() as u64 != w {
+                    return Err(format!(
+                        "line {n}: portfolio_race has {} per_worker entries for {w} workers",
+                        per.len()
+                    ));
+                }
+                if winner >= w {
+                    return Err(format!(
+                        "line {n}: portfolio_race winner {winner} out of range for {w} workers"
+                    ));
+                }
+                for i in 0..per.len() as u64 {
+                    portfolio.insert(i);
+                }
             }
             "search_step" => {
                 for f in ["step", "candidates", "d_hits", "d_misses"] {
@@ -185,11 +222,15 @@ fn check_jsonl(text: &str) -> Result<BTreeSet<u64>, String> {
             ));
         }
     }
-    Ok(workers)
+    Ok((workers, portfolio))
 }
 
-/// Validates the Chrome trace against the worker set from the JSONL.
-fn check_chrome(text: &str, workers: &BTreeSet<u64>) -> Result<(), String> {
+/// Validates the Chrome trace against the worker sets from the JSONL.
+fn check_chrome(
+    text: &str,
+    workers: &BTreeSet<u64>,
+    portfolio: &BTreeSet<u64>,
+) -> Result<(), String> {
     let v = parse(text)?;
     let events = v.as_arr().ok_or("top level is not an array")?;
     let mut named_tracks = BTreeSet::new();
@@ -221,6 +262,19 @@ fn check_chrome(text: &str, workers: &BTreeSet<u64>) -> Result<(), String> {
         if !named_tracks.contains(&tid) {
             return Err(format!(
                 "pool worker {w}: track {tid} has no thread_name metadata"
+            ));
+        }
+    }
+    for &w in portfolio {
+        let tid = 2000 + w;
+        if !slice_tracks.contains(&tid) {
+            return Err(format!(
+                "portfolio worker {w}: no race slices on track {tid}"
+            ));
+        }
+        if !named_tracks.contains(&tid) {
+            return Err(format!(
+                "portfolio worker {w}: track {tid} has no thread_name metadata"
             ));
         }
     }

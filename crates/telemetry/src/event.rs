@@ -86,6 +86,18 @@ pub struct WorkerTally {
     pub busy_us: u64,
 }
 
+/// One portfolio worker's tally over a single race, carried by
+/// [`EventKind::PortfolioRace`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RaceWorkerTally {
+    /// Conflicts this worker spent on the raced query.
+    pub conflicts: u64,
+    /// Glue clauses this worker imported from siblings during the query.
+    pub imported: u64,
+    /// Glue clauses this worker published for siblings during the query.
+    pub exported: u64,
+}
+
 /// The typed event payloads. See the module docs for the delta convention.
 #[derive(Clone, Debug, PartialEq)]
 pub enum EventKind {
@@ -134,14 +146,34 @@ pub enum EventKind {
         /// Counters since this instance's previous heartbeat.
         delta: SolverCounters,
     },
-    /// A conflict-budgeted query gave up (AppSAT / budgeted Double DIP).
+    /// A conflict-budgeted query came back without a verdict.
     BudgetExhausted {
         /// Which engine: `"key_miter"` or `"double_dip_miter"`.
         engine: &'static str,
-        /// The per-query conflict budget that ran out.
+        /// The per-query conflict budget in force.
         budget: u64,
-        /// The solver's cumulative conflicts at exhaustion.
+        /// The solver's cumulative conflicts at the early return.
         conflicts: u64,
+        /// Why the query stopped: `"budget"` when the conflict budget ran
+        /// out, `"cancelled"` when a portfolio stop flag interrupted it —
+        /// so traces don't misreport races as effort blowups.
+        cause: &'static str,
+    },
+    /// One portfolio race over a miter query (emitted by the winner's
+    /// caller once every worker has parked).
+    PortfolioRace {
+        /// Which engine raced: `"key_miter"` or `"double_dip_miter"`.
+        engine: &'static str,
+        /// Portfolio width (racing workers).
+        workers: u32,
+        /// Index of the worker whose verdict was taken.
+        winner: u32,
+        /// Race wall time in microseconds.
+        dur_us: u64,
+        /// Microseconds from the winner finishing to all workers parked.
+        cancel_us: u64,
+        /// Per-worker effort/exchange tallies, indexed by worker id.
+        per_worker: Vec<RaceWorkerTally>,
     },
     /// One temperature step of the batched search engine.
     SearchStep {
@@ -316,12 +348,39 @@ impl Event {
                 engine,
                 budget,
                 conflicts,
+                cause,
             } => {
                 let _ = write!(
                     s,
                     "\"kind\":\"budget_exhausted\",\"engine\":\"{engine}\",\"budget\":{budget},\
-                     \"conflicts\":{conflicts}"
+                     \"conflicts\":{conflicts},\"cause\":\"{cause}\""
                 );
+            }
+            EventKind::PortfolioRace {
+                engine,
+                workers,
+                winner,
+                dur_us,
+                cancel_us,
+                per_worker,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"kind\":\"portfolio_race\",\"engine\":\"{engine}\",\"workers\":{workers},\
+                     \"winner\":{winner},\"dur_us\":{dur_us},\"cancel_us\":{cancel_us},\
+                     \"per_worker\":["
+                );
+                for (i, w) in per_worker.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(
+                        s,
+                        "{{\"conflicts\":{},\"imported\":{},\"exported\":{}}}",
+                        w.conflicts, w.imported, w.exported
+                    );
+                }
+                s.push(']');
             }
             EventKind::SearchStep {
                 step,
@@ -448,6 +507,22 @@ mod tests {
                 engine: "key_miter",
                 budget: 2000,
                 conflicts: 2100,
+                cause: "budget",
+            },
+            EventKind::PortfolioRace {
+                engine: "key_miter",
+                workers: 4,
+                winner: 2,
+                dur_us: 512,
+                cancel_us: 33,
+                per_worker: vec![
+                    RaceWorkerTally::default(),
+                    RaceWorkerTally {
+                        conflicts: 9,
+                        imported: 2,
+                        exported: 1,
+                    },
+                ],
             },
             EventKind::SearchStep {
                 step: 0,

@@ -36,8 +36,13 @@ pub mod json;
 pub mod sink;
 pub mod summary;
 
-pub use event::{CacheDelta, Event, EventKind, Level, Scope, SolverCounters, WorkerTally};
-pub use sink::{CaptureSink, ChromeTraceSink, JsonlSink, ProgressSink, Sink, POOL_TRACK_BASE};
+pub use event::{
+    CacheDelta, Event, EventKind, Level, RaceWorkerTally, Scope, SolverCounters, WorkerTally,
+};
+pub use sink::{
+    CaptureSink, ChromeTraceSink, JsonlSink, ProgressSink, Sink, POOL_TRACK_BASE,
+    PORTFOLIO_TRACK_BASE,
+};
 pub use summary::{SummaryReport, SummarySink};
 
 use std::path::{Path, PathBuf};

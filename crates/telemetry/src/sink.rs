@@ -22,6 +22,11 @@ use std::sync::{Arc, Mutex};
 /// on track `POOL_TRACK_BASE + w`, well clear of real thread ordinals.
 pub const POOL_TRACK_BASE: u32 = 1000;
 
+/// Chrome-trace `tid` offset for portfolio-solver tracks: racing solver
+/// `w` renders on track `PORTFOLIO_TRACK_BASE + w`, clear of both thread
+/// ordinals and pool-worker tracks.
+pub const PORTFOLIO_TRACK_BASE: u32 = 2000;
+
 /// An event consumer. `record` is called for every emitted event (the
 /// registry filters nothing); `finish` flushes/writes output exactly once
 /// at end of run.
@@ -126,6 +131,7 @@ pub struct ChromeTraceSink {
     open: Vec<(u32, &'static str, String, u64)>,
     threads_seen: BTreeSet<u32>,
     workers_seen: BTreeSet<u32>,
+    portfolio_seen: BTreeSet<u32>,
     path: PathBuf,
 }
 
@@ -137,6 +143,7 @@ impl ChromeTraceSink {
             open: Vec::new(),
             threads_seen: BTreeSet::new(),
             workers_seen: BTreeSet::new(),
+            portfolio_seen: BTreeSet::new(),
             path: path.to_path_buf(),
         }
     }
@@ -222,12 +229,42 @@ impl Sink for ChromeTraceSink {
                 engine,
                 budget,
                 conflicts,
+                cause,
             } => {
                 self.push(format!(
-                    "{{\"name\":\"budget exhausted ({engine})\",\"cat\":\"solver\",\"ph\":\"i\",\
+                    "{{\"name\":\"{cause} ({engine})\",\"cat\":\"solver\",\"ph\":\"i\",\
                      \"ts\":{t},\"s\":\"t\",\"pid\":1,\"tid\":{tid},\
-                     \"args\":{{\"budget\":{budget},\"conflicts\":{conflicts}}}}}"
+                     \"args\":{{\"budget\":{budget},\"conflicts\":{conflicts},\"cause\":\"{cause}\"}}}}"
                 ));
+            }
+            EventKind::PortfolioRace {
+                engine,
+                workers: _,
+                winner,
+                dur_us,
+                cancel_us,
+                per_worker,
+            } => {
+                // One slice per racing solver on its dedicated track: the
+                // race interval with that worker's effort/exchange args,
+                // so occupancy and winner alternation are visible per
+                // query. The event arrives when every worker has parked.
+                let start = t.saturating_sub(*dur_us);
+                for (w, tally) in per_worker.iter().enumerate() {
+                    let w = w as u32;
+                    self.portfolio_seen.insert(w);
+                    let won = w == *winner;
+                    self.push(format!(
+                        "{{\"name\":\"race ({engine})\",\"cat\":\"portfolio\",\"ph\":\"X\",\
+                         \"ts\":{start},\"dur\":{dur_us},\"pid\":1,\"tid\":{},\
+                         \"args\":{{\"winner\":{won},\"conflicts\":{},\"imported\":{},\
+                         \"exported\":{},\"cancel_us\":{cancel_us}}}}}",
+                        PORTFOLIO_TRACK_BASE + w,
+                        tally.conflicts,
+                        tally.imported,
+                        tally.exported
+                    ));
+                }
             }
             EventKind::SearchStep {
                 step,
@@ -315,6 +352,13 @@ impl Sink for ChromeTraceSink {
                 "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
                  \"args\":{{\"name\":\"pool-worker-{w}\"}}}}",
                 POOL_TRACK_BASE + w
+            ));
+        }
+        for &w in &self.portfolio_seen {
+            meta.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"name\":\"portfolio-w{w}\"}}}}",
+                PORTFOLIO_TRACK_BASE + w
             ));
         }
         if let Some(parent) = self.path.parent() {

@@ -36,6 +36,12 @@ pub struct SummaryReport {
     pub solver_restarts: u64,
     /// Budget-exhaustion events.
     pub budget_exhaustions: u64,
+    /// Portfolio races run.
+    pub portfolio_races: u64,
+    /// Glue clauses imported across all portfolio workers (summed).
+    pub portfolio_imported: u64,
+    /// Glue clauses exported across all portfolio workers (summed).
+    pub portfolio_exported: u64,
     /// Search temperature steps.
     pub search_steps: u64,
     /// Candidates proposed across all steps.
@@ -66,7 +72,7 @@ impl SummaryReport {
         let mut s = String::from("{\n");
         let _ = write!(
             s,
-            "  \"name\": \"{}\",\n  \"wall_us\": {},\n  \"cells\": {},\n  \"pool\": {{\"jobs\": {}, \"stolen\": {}, \"busy_us\": {}, \"batches\": {}}},\n  \"solver\": {{\"conflicts\": {}, \"propagations\": {}, \"restarts\": {}, \"budget_exhaustions\": {}}},\n  \"search\": {{\"steps\": {}, \"candidates\": {}, \"accepted\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}}},\n  \"trainer\": {{\"epochs\": {}, \"wall_us\": {}, \"last_loss\": {}, \"tape_ops\": {}, \"tape_allocs\": {}}}\n",
+            "  \"name\": \"{}\",\n  \"wall_us\": {},\n  \"cells\": {},\n  \"pool\": {{\"jobs\": {}, \"stolen\": {}, \"busy_us\": {}, \"batches\": {}}},\n  \"solver\": {{\"conflicts\": {}, \"propagations\": {}, \"restarts\": {}, \"budget_exhaustions\": {}}},\n  \"portfolio\": {{\"races\": {}, \"imported\": {}, \"exported\": {}}},\n  \"search\": {{\"steps\": {}, \"candidates\": {}, \"accepted\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}}},\n  \"trainer\": {{\"epochs\": {}, \"wall_us\": {}, \"last_loss\": {}, \"tape_ops\": {}, \"tape_allocs\": {}}}\n",
             crate::json::escape(&self.name),
             self.wall_us,
             self.cells,
@@ -78,6 +84,9 @@ impl SummaryReport {
             self.solver_propagations,
             self.solver_restarts,
             self.budget_exhaustions,
+            self.portfolio_races,
+            self.portfolio_imported,
+            self.portfolio_exported,
             self.search_steps,
             self.search_candidates,
             self.search_accepted,
@@ -123,6 +132,13 @@ impl SummaryReport {
                 self.solver_propagations,
                 self.solver_restarts,
                 self.budget_exhaustions
+            );
+        }
+        if self.portfolio_races > 0 {
+            let _ = writeln!(
+                s,
+                "[telemetry]   portfolio | {} races, {} clauses imported, {} exported",
+                self.portfolio_races, self.portfolio_imported, self.portfolio_exported
             );
         }
         if self.search_steps > 0 {
@@ -193,6 +209,13 @@ impl super::sink::Sink for SummarySink {
                 r.solver_restarts += delta.restarts;
             }
             EventKind::BudgetExhausted { .. } => r.budget_exhaustions += 1,
+            EventKind::PortfolioRace { per_worker, .. } => {
+                r.portfolio_races += 1;
+                for w in per_worker {
+                    r.portfolio_imported += w.imported;
+                    r.portfolio_exported += w.exported;
+                }
+            }
             EventKind::SearchStep {
                 candidates,
                 accepted,

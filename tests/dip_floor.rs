@@ -22,6 +22,10 @@ use rand::SeedableRng;
 
 /// Runs the exact attack with a hang-guard just above the expected floor.
 fn exact_attack(locked: &LockedCircuit, max_iterations: usize) -> SatAttackRun {
+    // Floors hold for any DIP trajectory, but the hang-guards sit close
+    // above them: pin the serial reference width so a racing portfolio
+    // (multi-core CI) cannot wander near a guard nondeterministically.
+    std::env::set_var("ALMOST_SOLVERS", "1");
     let oracle = CircuitOracle::from_locked(locked);
     SatAttack::new(SatAttackConfig {
         mode: SatAttackMode::Exact,

@@ -33,6 +33,10 @@ fn assert_contract(
     base_bits: usize,
     sat_budget: usize,
 ) {
+    // The contract bounds trajectory lengths (budget ceilings), so pin
+    // the serial reference width — a racing portfolio on multi-core CI
+    // would vary the DIP trajectory run to run.
+    std::env::set_var("ALMOST_SOLVERS", "1");
     let oracle = CircuitOracle::from_locked(locked);
     let stalled = SatAttack::new(SatAttackConfig {
         mode: SatAttackMode::Exact,
