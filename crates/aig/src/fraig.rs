@@ -1,0 +1,764 @@
+//! Fraig / SAT sweeping: sim-guided incremental equivalence merging.
+//!
+//! A *fraig* (functionally reduced AIG) contains no two nodes that compute
+//! the same function (up to complement) of the primary inputs. This module
+//! rebuilds an [`Aig`] node by node in topological order, and before
+//! admitting each freshly strashed AND it asks: *is this node equivalent to
+//! one we already have?* The answer is computed in three tiers, cheapest
+//! first:
+//!
+//! 1. **Ternary simulation** — a cofactor scan over the source netlist
+//!    ([`sim::ternary_node_values`]): each input in turn is pinned to `0`
+//!    and to `1` with every other input `X`; a node definite to the same
+//!    value in both cofactors is a *constant* that one-level strash
+//!    simplification cannot see (e.g. `(a&b) & !a`). Flagged nodes are
+//!    proved against the constant directly, skipping the class machinery.
+//! 2. **Random simulation signatures** — every node carries a
+//!    64-bit-per-word signature over shared random input patterns. Nodes
+//!    whose signatures differ (under both phases) are *certainly* different;
+//!    only signature-equal nodes become merge candidates. Signatures are
+//!    hashed complement-canonically (complement the row if its first bit is
+//!    set), so one hash lookup finds both same-phase and opposite-phase
+//!    candidates.
+//! 3. **Incremental SAT** — a candidate pair is handed to a single
+//!    incremental [`Solver`] that sweeps the whole netlist: the two cones
+//!    are Tseitin-encoded lazily (shared across all queries), a fresh
+//!    difference literal `d ⇒ (x ⊕ y)` is added, and the query is solved
+//!    under the assumption `[d]`. UNSAT proves equivalence — the node is
+//!    *merged*: its consumers are rebuilt on the representative (through
+//!    strash, so downstream structure re-converges), and the equality is
+//!    asserted as two binary clauses that accelerate later queries. SAT
+//!    yields a counterexample, which is **fed back into the simulation
+//!    vectors**: a new word whose bit 0 is the exact counterexample and
+//!    whose remaining 63 bits are random perturbations of it, splitting
+//!    every not-actually-equal class the cex distinguishes.
+//!
+//! Queries that exhaust the per-query conflict budget
+//! ([`FraigConfig::hard_conflicts`]) are optionally *escalated*: the two
+//! cones are re-encoded into a fresh [`PortfolioSolver`] (honouring
+//! `ALMOST_SOLVERS`) and solved without a budget. With escalation off
+//! ([`FraigConfig::recipe`]) a budget exhaustion simply skips the merge —
+//! sound, bounded, and deterministic at any worker count.
+//!
+//! # Determinism
+//!
+//! For a fixed seed the merged network is identical at any portfolio
+//! width: truly equivalent nodes never sim-split, candidates are tested in
+//! deterministic (topological insertion) order, and an UNSAT verdict does
+//! not depend on which solver found it. Only effort *stats* (conflicts,
+//! escalations) vary with `ALMOST_SOLVERS`.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use almost_cdcl::portfolio::PortfolioSolver;
+use almost_cdcl::solver::{SatLit, SatResult, SatVar, Solver};
+use almost_telemetry as telemetry;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::aig::{Aig, Lit, NodeKind, Var};
+use crate::sim::{self, Ternary};
+
+/// Tuning knobs for a fraig sweep.
+#[derive(Clone, Debug)]
+pub struct FraigConfig {
+    /// Initial random simulation words per node (64 patterns each).
+    pub sim_words: usize,
+    /// Seed for the simulation patterns and counterexample perturbation.
+    pub seed: u64,
+    /// Per-query conflict budget for the incremental sweep solver. A query
+    /// that trips it is escalated (if [`FraigConfig::escalate`]) or
+    /// skipped.
+    pub hard_conflicts: u64,
+    /// Route budget-exhausted proofs through a fresh unbudgeted
+    /// [`PortfolioSolver`] over just the two cones (`ALMOST_SOLVERS`
+    /// controls its width). Off = skip the merge instead, keeping the
+    /// sweep bounded and thread-free.
+    pub escalate: bool,
+    /// Cap on counterexample feedback words appended over the whole sweep;
+    /// once reached, refuted candidates are split only by the signatures
+    /// already present.
+    pub max_cex_words: usize,
+}
+
+impl Default for FraigConfig {
+    /// The full-strength configuration used for CEC: escalation on, no
+    /// merge left unproved for budget reasons unless the portfolio itself
+    /// is interrupted.
+    fn default() -> Self {
+        FraigConfig {
+            sim_words: 8,
+            seed: 0x0F8A_161D,
+            hard_conflicts: 4096,
+            escalate: true,
+            max_cex_words: 64,
+        }
+    }
+}
+
+impl FraigConfig {
+    /// The bounded configuration behind the `fraig` recipe letter
+    /// ([`crate::passes::Pass::Fraig`]): smaller budgets, no portfolio
+    /// escalation (budget-skips are sound), so a sweep inside the
+    /// simulated-annealing inner loop stays cheap and deterministic at any
+    /// `ALMOST_JOBS`/`ALMOST_SOLVERS` setting.
+    pub fn recipe() -> Self {
+        FraigConfig {
+            sim_words: 4,
+            hard_conflicts: 512,
+            escalate: false,
+            max_cex_words: 16,
+            ..FraigConfig::default()
+        }
+    }
+}
+
+/// Effort and outcome counters for one fraig sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FraigStats {
+    /// Candidate equivalence classes formed (signature representatives,
+    /// excluding the built-in constant class).
+    pub classes: u64,
+    /// Candidate pairs proved equivalent by SAT (UNSAT verdicts).
+    pub proved: u64,
+    /// Candidate pairs refuted by SAT (a counterexample was found).
+    pub refuted: u64,
+    /// Candidate pairs skipped on budget exhaustion (only with
+    /// [`FraigConfig::escalate`] off, or a cancelled portfolio query).
+    pub skipped: u64,
+    /// Nodes merged into a representative (equals `proved`; kept separate
+    /// because it is the number of fanout rewrites applied).
+    pub merges: u64,
+    /// Merges whose representative is a constant.
+    pub constants: u64,
+    /// Structural constants flagged by the ternary all-`X` pre-pass
+    /// (a subset of `constants` once SAT-confirmed).
+    pub ternary_constants: u64,
+    /// Budget-exhausted queries re-run on a fresh portfolio solver.
+    pub escalations: u64,
+    /// Total SAT queries posed (sweep solver + escalations).
+    pub sat_calls: u64,
+    /// Counterexample feedback words appended to the simulation vectors.
+    pub sim_words_added: u64,
+    /// AND count of the input netlist.
+    pub ands_before: u64,
+    /// AND count of the swept netlist.
+    pub ands_after: u64,
+    /// Wall-clock time of the sweep, in microseconds.
+    pub wall_us: u64,
+}
+
+/// Sweeps `aig` with the full-strength [`FraigConfig::default`],
+/// returning the functionally reduced network.
+pub fn fraig(aig: &Aig) -> Aig {
+    fraig_with(aig, &FraigConfig::default()).0
+}
+
+/// Sweeps `aig` under `config`, returning the reduced network and the
+/// sweep's [`FraigStats`]. Emits one `fraig_pass` telemetry event.
+pub fn fraig_with(aig: &Aig, config: &FraigConfig) -> (Aig, FraigStats) {
+    let start = Instant::now();
+    let mut sweeper = Sweeper::new(aig, config);
+    let result = sweeper.run();
+    let mut stats = sweeper.stats;
+    stats.classes = sweeper.members.len() as u64 - 1;
+    stats.ands_before = aig.num_ands() as u64;
+    stats.ands_after = result.num_ands() as u64;
+    stats.wall_us = start.elapsed().as_micros() as u64;
+    telemetry::trace(|| telemetry::EventKind::FraigPass {
+        classes: stats.classes,
+        proved: stats.proved,
+        refuted: stats.refuted,
+        skipped: stats.skipped,
+        merges: stats.merges,
+        constants: stats.constants,
+        escalations: stats.escalations,
+        sat_calls: stats.sat_calls,
+        sim_words_added: stats.sim_words_added,
+        ands_before: stats.ands_before,
+        ands_after: stats.ands_after,
+        wall_us: stats.wall_us,
+    });
+    (result, stats)
+}
+
+/// Outcome of one equivalence query.
+enum Outcome {
+    Proved,
+    Refuted(Vec<bool>),
+    Skipped,
+}
+
+/// Outcome of scanning one candidate class.
+enum Scan {
+    /// Proved equal to this representative literal.
+    Merged(Lit),
+    /// Counterexample words were appended; signatures (and the class key)
+    /// changed — redo the lookup.
+    Rescan,
+    /// No provably-equal member: the node becomes a representative.
+    NewRep,
+}
+
+struct Sweeper<'a> {
+    config: &'a FraigConfig,
+    src: &'a Aig,
+    out: Aig,
+    /// Simulation signature per `out` var, `num_words` words each.
+    sigs: Vec<Vec<u64>>,
+    num_words: usize,
+    base_words: usize,
+    rng: StdRng,
+    /// Representative literal per `out` var — identity unless the node was
+    /// proved equal to an earlier one.
+    repr: Vec<Lit>,
+    /// Lazily assigned SAT literal per `out` var (sweep solver).
+    sat_of: Vec<Option<SatLit>>,
+    solver: Solver,
+    /// SAT vars of the `out` inputs, in input order (for cex extraction).
+    input_sat: Vec<SatVar>,
+    /// Complement-canonical signature hash → class members, in insertion
+    /// (topological) order. Seeded with the constant node.
+    classes: HashMap<u64, Vec<Var>>,
+    /// All class representatives in insertion order, for deterministic
+    /// class-table rebuilds after a signature extension.
+    members: Vec<Var>,
+    stats: FraigStats,
+}
+
+impl<'a> Sweeper<'a> {
+    fn new(src: &'a Aig, config: &'a FraigConfig) -> Self {
+        let num_words = config.sim_words.max(1);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut out = Aig::new();
+        let mut solver = Solver::new();
+
+        // Node 0: constant false, in both worlds. Its SAT literal is a
+        // variable pinned false by a unit clause.
+        let f = solver.new_var();
+        solver.add_clause(&[SatLit::negative(f)]);
+        let mut sigs = vec![vec![0u64; num_words]];
+        let mut sat_of = vec![Some(SatLit::positive(f))];
+        let mut repr = vec![Lit::FALSE];
+
+        let mut input_sat = Vec::with_capacity(src.num_inputs());
+        for i in 0..src.num_inputs() {
+            let lit = out.add_named_input(src.input_name(i));
+            sigs.push((0..num_words).map(|_| rng.random::<u64>()).collect());
+            let v = solver.new_var();
+            sat_of.push(Some(SatLit::positive(v)));
+            input_sat.push(v);
+            repr.push(lit);
+        }
+
+        let mut sweeper = Sweeper {
+            config,
+            src,
+            out,
+            sigs,
+            num_words,
+            base_words: num_words,
+            rng,
+            repr,
+            sat_of,
+            solver,
+            input_sat,
+            classes: HashMap::new(),
+            members: vec![0],
+            stats: FraigStats::default(),
+        };
+        let key = sweeper.canonical_key(0);
+        sweeper.classes.insert(key, vec![0]);
+        sweeper
+    }
+
+    fn run(&mut self) -> Aig {
+        // Ternary pre-pass: structural constants, provable without a
+        // class lookup.
+        let ternary = ternary_constant_scan(self.src);
+
+        let mut map: Vec<Lit> = vec![Lit::FALSE; self.src.num_nodes()];
+        for (i, &iv) in self.src.inputs().iter().enumerate() {
+            map[iv as usize] = Lit::positive(self.out.inputs()[i]);
+        }
+
+        for v in self.src.iter_vars() {
+            let NodeKind::And(a, b) = self.src.node(v) else {
+                continue;
+            };
+            let fa = map[a.var() as usize].xor_complement(a.is_complement());
+            let fb = map[b.var() as usize].xor_complement(b.is_complement());
+            let cand = self.out.and(fa, fb);
+            if cand.is_const() {
+                map[v as usize] = cand;
+                continue;
+            }
+            let cv = cand.var();
+            if (cv as usize) < self.sigs.len() {
+                // Strash hit on an existing node: follow its representative.
+                map[v as usize] = self.repr[cv as usize].xor_complement(cand.is_complement());
+                continue;
+            }
+            debug_assert_eq!(cv as usize, self.sigs.len(), "fresh nodes are dense");
+            self.push_node(cv);
+            let rep = match ternary[v as usize] {
+                Ternary::Zero => self.merge_constant(cv, Lit::FALSE),
+                Ternary::One => self.merge_constant(cv, Lit::TRUE),
+                Ternary::X => self.classify(cv),
+            };
+            self.repr[cv as usize] = rep;
+            map[v as usize] = rep.xor_complement(cand.is_complement());
+        }
+
+        for (i, &o) in self.src.outputs().iter().enumerate() {
+            let lit = map[o.var() as usize].xor_complement(o.is_complement());
+            self.out.add_named_output(lit, self.src.output_name(i));
+        }
+        // Merged-away nodes are dangling now; compact drops them (inputs
+        // keep their order and names).
+        self.out.compact()
+    }
+
+    /// Computes and stores the signature row of a freshly created AND.
+    fn push_node(&mut self, cv: Var) {
+        let (a, b) = self.out.and_fanins(cv).expect("fresh fraig node is an AND");
+        let row = (0..self.num_words)
+            .map(|w| sig_word(&self.sigs, a, w) & sig_word(&self.sigs, b, w))
+            .collect();
+        self.sigs.push(row);
+        self.sat_of.push(None);
+        self.repr.push(Lit::positive(cv));
+    }
+
+    /// Proves a ternary-flagged structural constant against `constant`.
+    /// Refutation is impossible (ternary simulation is conservative); a
+    /// budget skip falls back to the ordinary class machinery.
+    fn merge_constant(&mut self, cv: Var, constant: Lit) -> Lit {
+        self.stats.ternary_constants += 1;
+        match self.prove_equal(Lit::positive(cv), constant) {
+            Outcome::Proved => {
+                self.stats.proved += 1;
+                self.stats.merges += 1;
+                self.stats.constants += 1;
+                constant
+            }
+            Outcome::Refuted(_) => {
+                unreachable!("ternary simulation flagged a non-constant node")
+            }
+            Outcome::Skipped => {
+                self.stats.skipped += 1;
+                self.classify(cv)
+            }
+        }
+    }
+
+    /// Finds the representative literal for a fresh node: merges it into a
+    /// proven-equivalent class, or registers it as a new representative.
+    fn classify(&mut self, cv: Var) -> Lit {
+        loop {
+            let key = self.canonical_key(cv);
+            match self.scan_class(cv, key) {
+                Scan::Merged(rep) => return rep,
+                Scan::Rescan => continue,
+                Scan::NewRep => {
+                    self.classes.entry(key).or_default().push(cv);
+                    self.members.push(cv);
+                    return Lit::positive(cv);
+                }
+            }
+        }
+    }
+
+    fn scan_class(&mut self, cv: Var, key: u64) -> Scan {
+        let Some(candidates) = self.classes.get(&key).cloned() else {
+            return Scan::NewRep;
+        };
+        let phase = self.sigs[cv as usize][0] & 1 != 0;
+        for m in candidates {
+            let flip = phase != (self.sigs[m as usize][0] & 1 != 0);
+            if !self.sig_rows_equal(cv, m, flip) {
+                continue; // hash collision or an already-split pair
+            }
+            let rep = Lit::new(m, flip);
+            match self.prove_equal(Lit::positive(cv), rep) {
+                Outcome::Proved => {
+                    self.stats.proved += 1;
+                    self.stats.merges += 1;
+                    if m == 0 {
+                        self.stats.constants += 1;
+                    }
+                    return Scan::Merged(rep);
+                }
+                Outcome::Refuted(cex) => {
+                    self.stats.refuted += 1;
+                    if self.append_cex(&cex) {
+                        // The new word distinguishes cv from m, so the
+                        // rescan cannot retry this pair.
+                        return Scan::Rescan;
+                    }
+                    // Cex cap reached: signatures unchanged, keep scanning.
+                }
+                Outcome::Skipped => self.stats.skipped += 1,
+            }
+        }
+        Scan::NewRep
+    }
+
+    /// Complement-canonical FNV hash of a node's signature row.
+    fn canonical_key(&self, v: Var) -> u64 {
+        let row = &self.sigs[v as usize];
+        let flip = row[0] & 1 != 0;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &w in row {
+            h = (h ^ if flip { !w } else { w }).wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    fn sig_rows_equal(&self, a: Var, b: Var, flip: bool) -> bool {
+        self.sigs[a as usize]
+            .iter()
+            .zip(&self.sigs[b as usize])
+            .all(|(&x, &y)| x == if flip { !y } else { y })
+    }
+
+    /// One equivalence query `x == y` against the incremental sweep
+    /// solver, with optional portfolio escalation on budget exhaustion.
+    /// A proof is locked in as two binary clauses.
+    fn prove_equal(&mut self, x: Lit, y: Lit) -> Outcome {
+        let lx = encode_cone(&self.out, &mut self.solver, &mut self.sat_of, x);
+        let ly = encode_cone(&self.out, &mut self.solver, &mut self.sat_of, y);
+        let d = SatLit::positive(self.solver.new_var());
+        // d ⇒ (lx ⊕ ly): only the forward direction is needed, d is only
+        // ever assumed positive.
+        self.solver.add_clause(&[!d, lx, ly]);
+        self.solver.add_clause(&[!d, !lx, !ly]);
+        self.stats.sat_calls += 1;
+        let outcome = match self
+            .solver
+            .solve_limited(&[d], self.config.hard_conflicts.max(1))
+        {
+            Some(SatResult::Unsat) => Outcome::Proved,
+            Some(SatResult::Sat) => Outcome::Refuted(
+                self.input_sat
+                    .iter()
+                    .map(|&v| self.solver.value(v).unwrap_or(false))
+                    .collect(),
+            ),
+            None if self.config.escalate => self.escalate(x, y),
+            None => Outcome::Skipped,
+        };
+        // Retire the difference literal; on a proof, assert the equality
+        // so later queries get it for free.
+        self.solver.add_clause(&[!d]);
+        if matches!(outcome, Outcome::Proved) {
+            self.solver.add_clause(&[!lx, ly]);
+            self.solver.add_clause(&[lx, !ly]);
+        }
+        outcome
+    }
+
+    /// Re-proves a budget-exhausted query on a fresh unbudgeted portfolio
+    /// over just the two cones.
+    fn escalate(&mut self, x: Lit, y: Lit) -> Outcome {
+        self.stats.escalations += 1;
+        self.stats.sat_calls += 1;
+        let mut portfolio = PortfolioSolver::new("fraig");
+        let mut emap: Vec<Option<SatLit>> = vec![None; self.sigs.len()];
+        let f = portfolio.new_var();
+        portfolio.add_clause(&[SatLit::negative(f)]);
+        emap[0] = Some(SatLit::positive(f));
+        let mut inputs = Vec::with_capacity(self.input_sat.len());
+        for &iv in self.out.inputs() {
+            let v = portfolio.new_var();
+            emap[iv as usize] = Some(SatLit::positive(v));
+            inputs.push(v);
+        }
+        let lx = encode_cone(&self.out, &mut portfolio, &mut emap, x);
+        let ly = encode_cone(&self.out, &mut portfolio, &mut emap, y);
+        // Assert the difference directly — no assumptions, one-shot query.
+        portfolio.add_clause(&[lx, ly]);
+        portfolio.add_clause(&[!lx, !ly]);
+        match portfolio.try_solve(&[], None) {
+            Ok(SatResult::Unsat) => Outcome::Proved,
+            Ok(SatResult::Sat) => Outcome::Refuted(
+                inputs
+                    .iter()
+                    .map(|&v| portfolio.value(v).unwrap_or(false))
+                    .collect(),
+            ),
+            Err(_) => Outcome::Skipped, // cancelled — treat as indeterminate
+        }
+    }
+
+    /// Appends one simulation word derived from a counterexample: bit 0 is
+    /// the exact cex, bits 1..63 random perturbations of it (≈ 1/8 flip
+    /// density). Returns false (no-op) once the cex-word cap is reached.
+    fn append_cex(&mut self, cex: &[bool]) -> bool {
+        if self.num_words - self.base_words >= self.config.max_cex_words {
+            return false;
+        }
+        let w = self.num_words;
+        self.num_words += 1;
+        self.stats.sim_words_added += 1;
+        for v in 0..self.out.num_nodes() as Var {
+            let word = match self.out.node(v) {
+                NodeKind::Const0 => 0,
+                NodeKind::Input(i) => {
+                    let base = if cex[i as usize] { !0u64 } else { 0 };
+                    let mask = (self.rng.random::<u64>()
+                        & self.rng.random::<u64>()
+                        & self.rng.random::<u64>())
+                        & !1;
+                    base ^ mask
+                }
+                NodeKind::And(a, b) => sig_word(&self.sigs, a, w) & sig_word(&self.sigs, b, w),
+            };
+            self.sigs[v as usize].push(word);
+        }
+        // Signatures (and canonical keys) changed: rebuild the class table
+        // in the original insertion order.
+        self.classes.clear();
+        for i in 0..self.members.len() {
+            let m = self.members[i];
+            let key = self.canonical_key(m);
+            self.classes.entry(key).or_default().push(m);
+        }
+        true
+    }
+}
+
+/// Inputs case-split on by the ternary constant scan, at most. The scan
+/// is `O(splits · nodes)`; past this many inputs the class machinery
+/// (which catches every constant anyway, just via random sim + SAT) takes
+/// over alone.
+const TERNARY_SPLITS: usize = 64;
+
+/// Finds structural constants by one-input case splitting: a node that is
+/// definite to the same value under both cofactors of some input holds
+/// that value everywhere. Sound but incomplete — exactly the cheap tier
+/// of constant detection; [`Ternary::X`] marks the undecided rest.
+fn ternary_constant_scan(aig: &Aig) -> Vec<Ternary> {
+    let num_inputs = aig.num_inputs();
+    let mut result = vec![Ternary::X; aig.num_nodes()];
+    let mut inputs = vec![Ternary::X; num_inputs];
+    for i in 0..num_inputs.min(TERNARY_SPLITS) {
+        inputs[i] = Ternary::Zero;
+        let lo = sim::ternary_node_values(aig, &inputs);
+        inputs[i] = Ternary::One;
+        let hi = sim::ternary_node_values(aig, &inputs);
+        inputs[i] = Ternary::X;
+        for v in aig.iter_vars() {
+            let v = v as usize;
+            if result[v] == Ternary::X
+                && aig.is_and(v as Var)
+                && lo[v] != Ternary::X
+                && lo[v] == hi[v]
+            {
+                result[v] = lo[v];
+            }
+        }
+    }
+    result
+}
+
+/// Word `w` of a literal's signature (complemented on the fly).
+#[inline]
+fn sig_word(sigs: &[Vec<u64>], lit: Lit, w: usize) -> u64 {
+    let x = sigs[lit.var() as usize][w];
+    if lit.is_complement() {
+        !x
+    } else {
+        x
+    }
+}
+
+/// The clause-accepting surface shared by the serial sweep solver and the
+/// escalation portfolio. (The richer `ClauseSink` lives in `almost_sat`,
+/// a layer above this crate.)
+trait SolverLike {
+    fn new_var(&mut self) -> SatVar;
+    fn add_clause(&mut self, lits: &[SatLit]);
+}
+
+impl SolverLike for Solver {
+    fn new_var(&mut self) -> SatVar {
+        Solver::new_var(self)
+    }
+    fn add_clause(&mut self, lits: &[SatLit]) {
+        Solver::add_clause(self, lits)
+    }
+}
+
+impl SolverLike for PortfolioSolver {
+    fn new_var(&mut self) -> SatVar {
+        PortfolioSolver::new_var(self)
+    }
+    fn add_clause(&mut self, lits: &[SatLit]) {
+        PortfolioSolver::add_clause(self, lits)
+    }
+}
+
+/// Tseitin-encodes the cone of `root` into `solver`, memoised in `map`
+/// (inputs and the constant must be pre-encoded). Returns the SAT literal
+/// of `root`.
+fn encode_cone<S: SolverLike>(
+    aig: &Aig,
+    solver: &mut S,
+    map: &mut [Option<SatLit>],
+    root: Lit,
+) -> SatLit {
+    let mut stack = vec![root.var()];
+    while let Some(&v) = stack.last() {
+        if map[v as usize].is_some() {
+            stack.pop();
+            continue;
+        }
+        let (a, b) = aig
+            .and_fanins(v)
+            .expect("inputs and the constant are pre-encoded");
+        let mut ready = true;
+        for child in [a.var(), b.var()] {
+            if map[child as usize].is_none() {
+                stack.push(child);
+                ready = false;
+            }
+        }
+        if !ready {
+            continue;
+        }
+        stack.pop();
+        let la = tseitin_lit(map, a);
+        let lb = tseitin_lit(map, b);
+        let c = SatLit::positive(solver.new_var());
+        solver.add_clause(&[!c, la]);
+        solver.add_clause(&[!c, lb]);
+        solver.add_clause(&[c, !la, !lb]);
+        map[v as usize] = Some(c);
+    }
+    tseitin_lit(map, root)
+}
+
+#[inline]
+fn tseitin_lit(map: &[Option<SatLit>], lit: Lit) -> SatLit {
+    let s = map[lit.var() as usize].expect("cone encoded");
+    if lit.is_complement() {
+        !s
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::tests::random_aig;
+    use crate::sim::probably_equivalent;
+
+    /// A netlist with redundant structure strash alone cannot merge:
+    /// `f = a & b` next to `g = a & (b | (a & b))`, which is the same
+    /// function computed through an absorption-redundant cone, plus
+    /// `h = f XOR g`, a hidden constant false.
+    fn redundant_aig() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let f = aig.and(a, b);
+        let u = aig.or(b, f); // ≡ b by absorption; a distinct node
+        let g = aig.and(a, u); // ≡ f, through a different fanin pair
+        let h = aig.xor(f, g); // ≡ false; f and g are distinct nodes
+        aig.add_output(f);
+        aig.add_output(g);
+        aig.add_output(h);
+        assert!(
+            !g.is_const() && g.var() != f.var(),
+            "fixture must not strash"
+        );
+        assert!(!h.is_const(), "fixture must not strash");
+        aig
+    }
+
+    #[test]
+    fn merges_functionally_equal_nodes() {
+        let aig = redundant_aig();
+        let (swept, stats) = fraig_with(&aig, &FraigConfig::default());
+        assert!(stats.merges > 0, "expected at least one merge: {stats:?}");
+        // f and g collapse onto one node, h onto the constant.
+        assert_eq!(swept.outputs()[0], swept.outputs()[1]);
+        assert_eq!(swept.outputs()[2], Lit::FALSE);
+        assert!(swept.num_ands() < aig.num_ands());
+        assert!(probably_equivalent(&aig, &swept, 16, 7));
+    }
+
+    #[test]
+    fn ternary_constant_is_proved_and_folded() {
+        // g = (a & b) & !a == 0: two distinct AND nodes, invisible to
+        // one-level strash, found by the ternary cofactor scan on `a`.
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let ab = aig.and(a, b);
+        let g = aig.and(ab, !a);
+        assert!(!g.is_const(), "fixture must not strash");
+        aig.add_output(g);
+        let (swept, stats) = fraig_with(&aig, &FraigConfig::default());
+        assert_eq!(swept.outputs()[0], Lit::FALSE);
+        assert_eq!(swept.num_ands(), 0);
+        assert!(stats.ternary_constants > 0, "{stats:?}");
+        assert!(stats.constants > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn random_aigs_stay_equivalent_and_idempotent() {
+        for seed in 0..20 {
+            let aig = random_aig(6, 40, seed);
+            let (swept, _) = fraig_with(&aig, &FraigConfig::default());
+            assert!(
+                probably_equivalent(&aig, &swept, 32, seed ^ 0xbeef),
+                "fraig broke equivalence at seed {seed}"
+            );
+            assert!(swept.num_ands() <= aig.num_ands());
+            let (again, stats) = fraig_with(&swept, &FraigConfig::default());
+            assert_eq!(
+                again.num_ands(),
+                swept.num_ands(),
+                "fraig not idempotent at seed {seed}: {stats:?}"
+            );
+            assert_eq!(stats.merges, 0, "second sweep must find nothing");
+        }
+    }
+
+    #[test]
+    fn fixed_seed_is_deterministic() {
+        let aig = random_aig(8, 80, 3);
+        let cfg = FraigConfig::default();
+        let (a, _) = fraig_with(&aig, &cfg);
+        let (b, _) = fraig_with(&aig, &cfg);
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_ands(), b.num_ands());
+        assert_eq!(a.outputs(), b.outputs());
+    }
+
+    #[test]
+    fn recipe_config_is_bounded_and_sound() {
+        let aig = random_aig(10, 120, 11);
+        let (swept, stats) = fraig_with(&aig, &FraigConfig::recipe());
+        assert_eq!(stats.escalations, 0, "recipe config never escalates");
+        assert!(probably_equivalent(&aig, &swept, 32, 99));
+    }
+
+    #[test]
+    fn names_and_input_order_survive() {
+        let mut aig = Aig::new();
+        let a = aig.add_named_input("a");
+        let b = aig.add_named_input("b");
+        let f = aig.and(a, b);
+        aig.add_named_output(f, "f");
+        let (swept, _) = fraig_with(&aig, &FraigConfig::default());
+        assert_eq!(swept.num_inputs(), 2);
+        assert_eq!(swept.input_name(0), "a");
+        assert_eq!(swept.input_name(1), "b");
+        assert_eq!(swept.output_name(0), "f");
+    }
+}

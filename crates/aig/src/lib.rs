@@ -44,6 +44,7 @@ pub mod aig;
 pub mod aiger;
 pub mod compile;
 pub mod cut;
+pub mod fraig;
 pub mod isop;
 pub mod mffc;
 pub mod npn;
@@ -53,5 +54,6 @@ pub mod truth;
 
 pub use crate::aig::{Aig, Lit, NodeKind, Var};
 pub use crate::compile::{CompileError, CompileStats, CompiledAig};
+pub use crate::fraig::{fraig, fraig_with, FraigConfig, FraigStats};
 pub use crate::passes::{Pass, Script};
 pub use crate::truth::Tt;

@@ -1,7 +1,8 @@
 //! Synthesis transformation passes and scripts.
 //!
 //! This module implements the seven transformations the ALMOST paper draws
-//! recipes from, plus the `resyn2` baseline script:
+//! recipes from, plus a `fraig` SAT-sweeping letter and the `resyn2`
+//! baseline script:
 //!
 //! | Pass | Algorithm |
 //! |------|-----------|
@@ -9,6 +10,7 @@
 //! | [`Pass::Refactor`], [`Pass::RefactorZ`] | reconvergence-driven large-cut (≤10 leaves) collapsing and re-synthesis |
 //! | [`Pass::Resub`], [`Pass::ResubZ`] | windowed resubstitution: replace a node by an existing divisor (or a one/three-node combination of two divisors) with *exact* window-truth-table verification |
 //! | [`Pass::Balance`] | level-minimising AND-tree balancing |
+//! | [`Pass::Fraig`] | SAT sweeping ([`crate::fraig`]): sim-signature candidate classes, incremental-SAT equivalence proofs, counterexample-refined merging (bounded [`crate::fraig::FraigConfig::recipe`] budgets) |
 //!
 //! The `-z` variants accept zero-gain moves, perturbing structure without
 //! growing the graph — exactly ABC's `rewrite -z` / `refactor -z` /
@@ -65,12 +67,15 @@ pub enum Pass {
     ResubZ,
     /// AND-tree balancing (`balance`).
     Balance,
+    /// SAT sweeping (`fraig`): merges functionally equivalent nodes under
+    /// the bounded [`crate::fraig::FraigConfig::recipe`] configuration.
+    Fraig,
 }
 
 impl Pass {
-    /// All seven passes, in a fixed order (the recipe alphabet of the
-    /// paper).
-    pub const ALL: [Pass; 7] = [
+    /// All eight passes, in a fixed order: the paper's seven-letter recipe
+    /// alphabet plus the `fraig` extension.
+    pub const ALL: [Pass; 8] = [
         Pass::Rewrite,
         Pass::RewriteZ,
         Pass::Refactor,
@@ -78,6 +83,7 @@ impl Pass {
         Pass::Resub,
         Pass::ResubZ,
         Pass::Balance,
+        Pass::Fraig,
     ];
 
     /// Applies the pass, returning a new AIG with the same interface and
@@ -91,6 +97,7 @@ impl Pass {
             Pass::Resub => resub(aig, false),
             Pass::ResubZ => resub(aig, true),
             Pass::Balance => balance(aig),
+            Pass::Fraig => crate::fraig::fraig_with(aig, &crate::fraig::FraigConfig::recipe()).0,
         }
     }
 
@@ -104,11 +111,12 @@ impl Pass {
             Pass::Resub => "resub",
             Pass::ResubZ => "resub -z",
             Pass::Balance => "balance",
+            Pass::Fraig => "fraig",
         }
     }
 
     /// A compact single-letter mnemonic (used in recipe strings): `w`, `W`,
-    /// `f`, `F`, `s`, `S`, `b`.
+    /// `f`, `F`, `s`, `S`, `b`, `g`.
     pub fn mnemonic(self) -> char {
         match self {
             Pass::Rewrite => 'w',
@@ -118,6 +126,7 @@ impl Pass {
             Pass::Resub => 's',
             Pass::ResubZ => 'S',
             Pass::Balance => 'b',
+            Pass::Fraig => 'g',
         }
     }
 
@@ -269,7 +278,7 @@ impl FromIterator<Pass> for Script {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::sim::probably_equivalent;
     use rand::rngs::StdRng;

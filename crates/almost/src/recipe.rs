@@ -154,7 +154,7 @@ struct TrieNode {
     /// free-listed slots).
     aig: Option<Arc<Aig>>,
     /// Child per pass, indexed by the [`Pass::ALL`] position.
-    children: [u32; 7],
+    children: [u32; Pass::ALL.len()],
     parent: u32,
     /// Which child slot of `parent` points here.
     slot: u8,
@@ -209,7 +209,7 @@ impl RecipeTrie {
         RecipeTrie {
             nodes: vec![TrieNode {
                 aig: Some(Arc::new(base)),
-                children: [NO_CHILD; 7],
+                children: [NO_CHILD; Pass::ALL.len()],
                 parent: ROOT,
                 slot: 0,
                 last_use: 0,
@@ -315,7 +315,7 @@ impl RecipeTrie {
     fn insert(&mut self, parent: u32, slot: usize, aig: Arc<Aig>) -> u32 {
         let node = TrieNode {
             aig: Some(aig),
-            children: [NO_CHILD; 7],
+            children: [NO_CHILD; Pass::ALL.len()],
             parent,
             slot: slot as u8,
             last_use: 0,

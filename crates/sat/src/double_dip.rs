@@ -105,6 +105,23 @@ impl DoubleDipMiter {
         Self::with_probes(locked, key_start, key_len, &[])
     }
 
+    /// Like [`DoubleDipMiter::new`], but sweeps the locked circuit with
+    /// [`almost_aig::fraig`] before encoding. The four-copy miter
+    /// amplifies any netlist reduction fourfold (every copy — and every
+    /// probe residue — encodes the swept network), which is why the 2-DIP
+    /// loop benefits even more from the pre-pass than the classic miter.
+    /// Interface order and names are preserved; opt-in for the same
+    /// reason as [`KeyMiter::with_fraig_prepass`](crate::KeyMiter::with_fraig_prepass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key range exceeds the circuit's inputs or the circuit
+    /// has no outputs.
+    pub fn with_fraig_prepass(locked: &Aig, key_start: usize, key_len: usize) -> Self {
+        let swept = almost_aig::fraig(locked);
+        Self::with_probes(&swept, key_start, key_len, &[])
+    }
+
     /// Builds the miter with pair-agreement *probes*: on every probe input
     /// the two keys of each pair must produce identical outputs. Probes
     /// are encoded as constant-folded key residues (cheap) and consume no
@@ -371,6 +388,25 @@ mod tests {
         assert_eq!(miter.find_2dip(None), TwoDipSearch::Settled);
         let key = miter.settle_key().expect("consistent");
         assert!(!key[0], "k₀ = 0 is pinned by the 2-DIP constraint");
+    }
+
+    #[test]
+    fn fraig_prepass_preserves_the_2dip_verdict() {
+        // Pad the group-locked toy with a redundant duplicate of its key
+        // cone; the swept miter must reach the same settled verdict.
+        let mut locked = Aig::new();
+        let a = locked.add_input();
+        let k0 = locked.add_named_input("keyinput0");
+        let k1 = locked.add_named_input("keyinput1");
+        let t = locked.and(k0, k1);
+        let u = locked.or(k1, t); // ≡ k₁ (absorption)
+        let t2 = locked.and(k0, u); // ≡ k₀ ∧ k₁, duplicated cone
+        let f = locked.xor(a, t2);
+        locked.add_output(f);
+        let mut miter = DoubleDipMiter::with_fraig_prepass(&locked, 1, 2);
+        assert_eq!(miter.find_2dip(None), TwoDipSearch::Settled);
+        let key = miter.settle_key().expect("consistent");
+        assert_eq!(key.len(), 2);
     }
 
     #[test]

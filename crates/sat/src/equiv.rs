@@ -6,8 +6,9 @@
 //! input assignment that makes any XOR true.
 
 use crate::cnf::{encode_with_inputs, encode_xor};
+use crate::portfolio::PortfolioSolver;
 use crate::solver::{SatLit, SatResult, SatVar, Solver};
-use almost_aig::{Aig, Var};
+use almost_aig::{fraig_with, Aig, FraigConfig, Lit, Var};
 use std::collections::HashMap;
 
 /// Outcome of a combinational equivalence check.
@@ -20,22 +21,105 @@ pub enum Equivalence {
 }
 
 /// Proves or refutes functional equivalence of two AIGs with identical
-/// interfaces.
+/// interfaces — *fraig-first*.
+///
+/// The two circuits are copied into one joint netlist over shared
+/// inputs, where the structural hash already identifies every
+/// syntactically shared cone, and the joint network is then swept by
+/// [`almost_aig::fraig`]: simulation signatures partition the nodes into
+/// candidate classes, and one incremental SAT solver proves (or refutes,
+/// feeding the counterexample back into the signatures) the candidates
+/// pair by pair, from the inputs outward. Output pairs whose cones merge
+/// collapse to the *identical literal* — proved equivalent without ever
+/// posing the monolithic miter query. Only the residual output pairs
+/// (if any) go to a final SAT call, which typically has most of its
+/// internal equivalences already merged away.
+///
+/// This is why no conflict budget is needed here: sweeping decomposes
+/// the proof into many small input-to-output queries, which is
+/// dramatically faster than the single end-to-end miter on structurally
+/// similar circuits (the common CEC case: original vs. resynthesized,
+/// locked vs. key-programmed). Hard *residual* queries are escalated by
+/// the sweep to a portfolio honouring `ALMOST_SOLVERS`.
+///
+/// For adversarial inner loops that only need a cheap score, prefer
+/// [`check_equivalence_limited`].
 ///
 /// # Panics
 ///
 /// Panics if the input or output counts differ.
 pub fn check_equivalence(a: &Aig, b: &Aig) -> Equivalence {
-    check_equivalence_limited(a, b, u64::MAX).expect("unlimited CEC always concludes")
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
+
+    // One joint netlist over shared inputs: strash unifies shared
+    // structure immediately, the sweep merges the semantically equal
+    // rest.
+    let mut joint = Aig::new();
+    let inputs: Vec<Lit> = (0..a.num_inputs()).map(|_| joint.add_input()).collect();
+    let leaf_map_a: HashMap<Var, Lit> = a
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, inputs[i]))
+        .collect();
+    let outs_a = a.copy_cone_into(&mut joint, a.outputs(), &leaf_map_a);
+    let leaf_map_b: HashMap<Var, Lit> = b
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, inputs[i]))
+        .collect();
+    let outs_b = b.copy_cone_into(&mut joint, b.outputs(), &leaf_map_b);
+    for &o in outs_a.iter().chain(&outs_b) {
+        joint.add_output(o);
+    }
+
+    let (swept, _stats) = fraig_with(&joint, &FraigConfig::default());
+    let n = a.num_outputs();
+    let residual: Vec<usize> = (0..n)
+        .filter(|&i| swept.outputs()[i] != swept.outputs()[i + n])
+        .collect();
+    if residual.is_empty() {
+        return Equivalence::Equivalent;
+    }
+
+    // Residual outputs: the sweep could not merge them (either truly
+    // inequivalent, or equivalent only through a proof it skipped).
+    // Settle them with one unbudgeted portfolio query over the swept —
+    // already internally reduced — network.
+    let mut solver = PortfolioSolver::new("cec");
+    let input_vars: Vec<SatVar> = (0..swept.num_inputs()).map(|_| solver.new_var()).collect();
+    let cnf = encode_with_inputs(&mut solver, &swept, &input_vars, &HashMap::new());
+    let diffs: Vec<SatLit> = residual
+        .iter()
+        .map(|&i| encode_xor(&mut solver, cnf.output_lits[i], cnf.output_lits[i + n]))
+        .collect();
+    solver.add_clause(&diffs);
+    match solver.solve(&[]) {
+        SatResult::Unsat => Equivalence::Equivalent,
+        SatResult::Sat => Equivalence::Counterexample(
+            input_vars
+                .iter()
+                .map(|&v| solver.value(v).unwrap_or(false))
+                .collect(),
+        ),
+    }
 }
 
-/// Like [`check_equivalence`], but gives up after `max_conflicts` solver
-/// conflicts and returns `None` (undecided).
+/// Like [`check_equivalence`], but monolithic and budgeted: one
+/// end-to-end miter, solved until `max_conflicts` conflicts, returning
+/// `None` (undecided) when the budget trips.
 ///
-/// Arithmetic miters — the c6288-style multiplier above all — are
-/// exponentially hard for resolution, so callers that score rather than
-/// certify (attack reports, search loops) should bound the proof effort
-/// and fall back to simulation when the budget trips.
+/// This is the **legacy scoring path**, kept deliberately: arithmetic
+/// miters — the c6288-style multiplier above all — are exponentially hard
+/// for resolution, and callers that *score* rather than *certify* (the
+/// adversarial inner simulated-annealing loop, attack report rows) want a
+/// fixed, small effort ceiling and a graceful `None`, not a fraig sweep
+/// whose counterexample refinement they would pay for on every candidate.
+/// Use [`check_equivalence`] (fraig-first, unbudgeted) whenever the
+/// answer must be definitive: certification walls, envelope tests, CI
+/// parity checks.
 ///
 /// # Panics
 ///

@@ -38,10 +38,14 @@ pub mod cnf;
 pub mod dimacs;
 pub mod double_dip;
 pub mod equiv;
-pub mod heap;
 pub mod miter;
-pub mod portfolio;
-pub mod solver;
+
+// The CDCL core lives in `almost_cdcl` (so `almost_aig`'s fraig engine
+// can use it without a dependency cycle); the historical module paths
+// are preserved here.
+pub use almost_cdcl::heap;
+pub use almost_cdcl::portfolio;
+pub use almost_cdcl::solver;
 
 pub use double_dip::{DoubleDipMiter, TwoDipSearch};
 pub use equiv::{check_equivalence, check_equivalence_limited, test_stuck_at, Equivalence};

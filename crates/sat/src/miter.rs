@@ -94,10 +94,41 @@ impl KeyMiter {
     /// Panics if the key range exceeds the circuit's inputs or the circuit
     /// has no outputs.
     pub fn new(locked: &Aig, key_start: usize, key_len: usize) -> Self {
+        Self::build(locked, key_start, key_len, false)
+    }
+
+    /// Like [`KeyMiter::new`], but sweeps the locked circuit with
+    /// [`almost_aig::fraig`] before encoding. The sweep merges every
+    /// internally equivalent node once, up front — both circuit copies
+    /// (and every later input-restricted I/O copy) then encode the
+    /// reduced network, shrinking the CNF the DIP loop iterates on. The
+    /// interface (input order and names, output order) is preserved, so
+    /// key positions are unaffected.
+    ///
+    /// Opt-in: on netlists with little internal redundancy the sweep is
+    /// pure overhead, and attack-effort comparisons against published
+    /// SAT-attack numbers should keep the plain construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key range exceeds the circuit's inputs or the circuit
+    /// has no outputs.
+    pub fn with_fraig_prepass(locked: &Aig, key_start: usize, key_len: usize) -> Self {
+        Self::build(locked, key_start, key_len, true)
+    }
+
+    fn build(locked: &Aig, key_start: usize, key_len: usize, fraig: bool) -> Self {
         assert!(
             key_start + key_len <= locked.num_inputs(),
             "key range out of bounds"
         );
+        let swept;
+        let locked = if fraig {
+            swept = almost_aig::fraig(locked);
+            &swept
+        } else {
+            locked
+        };
         assert!(locked.num_outputs() > 0, "miter needs outputs to compare");
         let mut solver = PortfolioSolver::new("key_miter");
         let num_data = locked.num_inputs() - key_len;
@@ -411,6 +442,39 @@ mod tests {
             crate::equiv::check_equivalence(&plain, &restored),
             crate::equiv::Equivalence::Equivalent
         );
+    }
+
+    #[test]
+    fn fraig_prepass_recovers_the_same_key() {
+        // Pad the locked circuit with redundant structure the sweep can
+        // merge; the pre-passed miter must still recover the exact key.
+        let (plain, mut locked) = two_bit_locked();
+        let a = Lit::positive(locked.inputs()[0]);
+        let b = Lit::positive(locked.inputs()[1]);
+        let ab = locked.and(a, b);
+        let u = locked.or(b, ab); // ≡ b (absorption)
+        let redundant = locked.and(a, u); // ≡ a ∧ b, duplicated cone
+        let y = locked.outputs()[0];
+        let t = locked.and(y, redundant);
+        let s = locked.and(y, !redundant);
+        let y2 = locked.or(s, t); // (y ∧ r) ∨ (y ∧ ¬r) ≡ y
+        locked.set_output(0, y2);
+
+        let mut miter = KeyMiter::with_fraig_prepass(&locked, 2, 2);
+        let mut iterations = 0;
+        loop {
+            match miter.find_dip(None) {
+                DipSearch::Found(x) => {
+                    let y = plain.eval(&x);
+                    miter.constrain_io(&x, &y);
+                }
+                DipSearch::Settled => break,
+                DipSearch::OutOfBudget => unreachable!("no budget was set"),
+            }
+            iterations += 1;
+            assert!(iterations <= 64, "DIP loop diverged");
+        }
+        assert_eq!(miter.settle_key(), Some(vec![false, true]));
     }
 
     #[test]

@@ -69,6 +69,7 @@ const KINDS: &[&str] = &[
     "search_step",
     "train_epoch",
     "oracle_compile",
+    "fraig_pass",
     "cell_done",
     "message",
 ];
@@ -197,6 +198,24 @@ fn check_jsonl(text: &str) -> Result<(BTreeSet<u64>, BTreeSet<u64>), String> {
                     "instructions",
                     "registers",
                     "dead_skipped",
+                    "wall_us",
+                ] {
+                    req_u64(&v, f, n)?;
+                }
+            }
+            "fraig_pass" => {
+                for f in [
+                    "classes",
+                    "proved",
+                    "refuted",
+                    "skipped",
+                    "merges",
+                    "constants",
+                    "escalations",
+                    "sat_calls",
+                    "sim_words_added",
+                    "ands_before",
+                    "ands_after",
                     "wall_us",
                 ] {
                     req_u64(&v, f, n)?;

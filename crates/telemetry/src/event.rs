@@ -216,6 +216,34 @@ pub enum EventKind {
         /// Compile wall time in microseconds.
         wall_us: u64,
     },
+    /// One fraig / SAT-sweeping pass over a netlist completed.
+    FraigPass {
+        /// Candidate equivalence classes formed (signature
+        /// representatives, excluding the constant class).
+        classes: u64,
+        /// Candidate pairs proved equivalent (UNSAT verdicts).
+        proved: u64,
+        /// Candidate pairs refuted (a counterexample was found).
+        refuted: u64,
+        /// Candidate pairs skipped on budget exhaustion.
+        skipped: u64,
+        /// Nodes merged into a representative.
+        merges: u64,
+        /// Merges whose representative is a constant.
+        constants: u64,
+        /// Budget-exhausted queries re-run on a portfolio solver.
+        escalations: u64,
+        /// Total SAT queries posed.
+        sat_calls: u64,
+        /// Counterexample feedback words appended to the sim vectors.
+        sim_words_added: u64,
+        /// AND nodes before the sweep.
+        ands_before: u64,
+        /// AND nodes after the sweep.
+        ands_after: u64,
+        /// Sweep wall time in microseconds.
+        wall_us: u64,
+    },
     /// A harness cell finished (the streamed liveness marker).
     CellDone {
         /// Cell label, e.g. `"c1908 k=32"`.
@@ -430,6 +458,30 @@ impl Event {
                      \"registers\":{registers},\"dead_skipped\":{dead_skipped},\"wall_us\":{wall_us}"
                 );
             }
+            EventKind::FraigPass {
+                classes,
+                proved,
+                refuted,
+                skipped,
+                merges,
+                constants,
+                escalations,
+                sat_calls,
+                sim_words_added,
+                ands_before,
+                ands_after,
+                wall_us,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"kind\":\"fraig_pass\",\"classes\":{classes},\"proved\":{proved},\
+                     \"refuted\":{refuted},\"skipped\":{skipped},\"merges\":{merges},\
+                     \"constants\":{constants},\"escalations\":{escalations},\
+                     \"sat_calls\":{sat_calls},\"sim_words_added\":{sim_words_added},\
+                     \"ands_before\":{ands_before},\"ands_after\":{ands_after},\
+                     \"wall_us\":{wall_us}"
+                );
+            }
             EventKind::CellDone { label } => {
                 let _ = write!(s, "\"kind\":\"cell_done\",\"label\":\"{}\"", escape(label));
             }
@@ -545,6 +597,20 @@ mod tests {
                 registers: 642,
                 dead_skipped: 40,
                 wall_us: 85,
+            },
+            EventKind::FraigPass {
+                classes: 40,
+                proved: 12,
+                refuted: 5,
+                skipped: 1,
+                merges: 12,
+                constants: 2,
+                escalations: 1,
+                sat_calls: 18,
+                sim_words_added: 5,
+                ands_before: 300,
+                ands_after: 250,
+                wall_us: 1234,
             },
             EventKind::CellDone {
                 label: "c432 k=8".into(),

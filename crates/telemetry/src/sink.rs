@@ -307,6 +307,26 @@ impl Sink for ChromeTraceSink {
                      \"dead_skipped\":{dead_skipped},\"wall_us\":{wall_us}}}}}"
                 ));
             }
+            EventKind::FraigPass {
+                classes,
+                proved,
+                refuted,
+                merges,
+                sat_calls,
+                ands_before,
+                ands_after,
+                wall_us,
+                ..
+            } => {
+                self.push(format!(
+                    "{{\"name\":\"fraig pass\",\"cat\":\"fraig\",\"ph\":\"X\",\
+                     \"ts\":{},\"dur\":{wall_us},\"pid\":1,\"tid\":{tid},\
+                     \"args\":{{\"classes\":{classes},\"proved\":{proved},\
+                     \"refuted\":{refuted},\"merges\":{merges},\"sat_calls\":{sat_calls},\
+                     \"ands_before\":{ands_before},\"ands_after\":{ands_after}}}}}",
+                    t.saturating_sub(*wall_us)
+                ));
+            }
             EventKind::CellDone { label } => {
                 self.push(format!(
                     "{{\"name\":\"cell done: {}\",\"cat\":\"cell\",\"ph\":\"i\",\"ts\":{t},\

@@ -54,6 +54,16 @@ pub struct SummaryReport {
     pub cache_misses: u64,
     /// Synthesis-cache evictions (summed deltas).
     pub cache_evictions: u64,
+    /// Fraig sweeps completed.
+    pub fraig_passes: u64,
+    /// Nodes merged by fraig sweeps (summed).
+    pub fraig_merges: u64,
+    /// Fraig candidate pairs refuted by SAT (summed).
+    pub fraig_refuted: u64,
+    /// SAT queries posed by fraig sweeps (summed).
+    pub fraig_sat_calls: u64,
+    /// Summed fraig sweep wall time, microseconds.
+    pub fraig_wall_us: u64,
     /// Training epochs.
     pub train_epochs: u64,
     /// Summed epoch wall time, microseconds.
@@ -72,7 +82,7 @@ impl SummaryReport {
         let mut s = String::from("{\n");
         let _ = write!(
             s,
-            "  \"name\": \"{}\",\n  \"wall_us\": {},\n  \"cells\": {},\n  \"pool\": {{\"jobs\": {}, \"stolen\": {}, \"busy_us\": {}, \"batches\": {}}},\n  \"solver\": {{\"conflicts\": {}, \"propagations\": {}, \"restarts\": {}, \"budget_exhaustions\": {}}},\n  \"portfolio\": {{\"races\": {}, \"imported\": {}, \"exported\": {}}},\n  \"search\": {{\"steps\": {}, \"candidates\": {}, \"accepted\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}}},\n  \"trainer\": {{\"epochs\": {}, \"wall_us\": {}, \"last_loss\": {}, \"tape_ops\": {}, \"tape_allocs\": {}}}\n",
+            "  \"name\": \"{}\",\n  \"wall_us\": {},\n  \"cells\": {},\n  \"pool\": {{\"jobs\": {}, \"stolen\": {}, \"busy_us\": {}, \"batches\": {}}},\n  \"solver\": {{\"conflicts\": {}, \"propagations\": {}, \"restarts\": {}, \"budget_exhaustions\": {}}},\n  \"portfolio\": {{\"races\": {}, \"imported\": {}, \"exported\": {}}},\n  \"search\": {{\"steps\": {}, \"candidates\": {}, \"accepted\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}}},\n  \"fraig\": {{\"passes\": {}, \"merges\": {}, \"refuted\": {}, \"sat_calls\": {}, \"wall_us\": {}}},\n  \"trainer\": {{\"epochs\": {}, \"wall_us\": {}, \"last_loss\": {}, \"tape_ops\": {}, \"tape_allocs\": {}}}\n",
             crate::json::escape(&self.name),
             self.wall_us,
             self.cells,
@@ -93,6 +103,11 @@ impl SummaryReport {
             self.cache_hits,
             self.cache_misses,
             self.cache_evictions,
+            self.fraig_passes,
+            self.fraig_merges,
+            self.fraig_refuted,
+            self.fraig_sat_calls,
+            self.fraig_wall_us,
             self.train_epochs,
             self.train_wall_us,
             if self.train_last_loss.is_finite() { self.train_last_loss } else { 0.0 },
@@ -151,6 +166,17 @@ impl SummaryReport {
                 self.cache_hits,
                 self.cache_misses,
                 self.cache_evictions
+            );
+        }
+        if self.fraig_passes > 0 {
+            let _ = writeln!(
+                s,
+                "[telemetry]   fraig   | {} passes, {} merges ({} refuted), {} SAT calls in {:.2}s",
+                self.fraig_passes,
+                self.fraig_merges,
+                self.fraig_refuted,
+                self.fraig_sat_calls,
+                self.fraig_wall_us as f64 / 1e6
             );
         }
         if self.train_epochs > 0 {
@@ -241,6 +267,19 @@ impl super::sink::Sink for SummarySink {
                 r.train_last_loss = *loss;
                 r.tape_ops += tape_ops;
                 r.tape_allocs += tape_allocs;
+            }
+            EventKind::FraigPass {
+                merges,
+                refuted,
+                sat_calls,
+                wall_us,
+                ..
+            } => {
+                r.fraig_passes += 1;
+                r.fraig_merges += merges;
+                r.fraig_refuted += refuted;
+                r.fraig_sat_calls += sat_calls;
+                r.fraig_wall_us += wall_us;
             }
             EventKind::CellDone { .. } => r.cells += 1,
             // Oracle compiles are one-shot setup costs; the throughput
